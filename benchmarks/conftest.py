@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench runs its experiment exactly once under pytest-benchmark
+(``rounds=1``): the experiments are end-to-end ML studies, not
+microkernels, and their cost is dominated by model training.  The
+kernel-level microbenchmarks (``test_kernels_micro.py``) use the
+default multi-round timing instead.
+
+Scale knobs (see :mod:`repro.bench.runner`):
+
+* ``REPRO_SCALE``   corpus fraction (default 0.1 ≈ 230 matrices)
+* ``REPRO_MAX_NNZ`` per-matrix cap (default 2e6)
+* ``REPRO_SEED``    master seed
+
+Run ``REPRO_SCALE=1.0 REPRO_MAX_NNZ=200000000 pytest benchmarks/
+--benchmark-only`` for a full paper-scale reproduction (hours).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark an experiment with a single round/iteration."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,54 @@
+"""Ablation: SMAT-style confidence gating (Li et al., related work).
+
+Sweeps the confidence threshold of the hybrid selector: at 0 the model
+always answers alone; at 1 every matrix probes its top-2 candidate
+formats on the device.  The interesting regime is in between — a small
+probe budget buys back most of the ML mispredictions, which is exactly
+the design argument of SMAT's confidence mechanism.
+"""
+
+import numpy as np
+
+from repro.bench import bench_corpus, bench_dataset, bench_seed, caption, render_table
+from repro.core import ConfidenceSelector, FormatSelector
+from repro.gpu import DEVICES, SpMVExecutor
+
+
+def test_confidence_threshold_sweep(run_once):
+    def measure():
+        ds = bench_dataset("k40c", "single").drop_coo_best()
+        corpus = {e.name: e for e in bench_corpus()}
+        rng = np.random.default_rng(bench_seed())
+        idx = rng.permutation(len(ds))
+        n_test = min(40, max(2, len(ds) // 5))
+        test = ds.subset(idx[:n_test])
+        train = ds.subset(idx[n_test:])
+        matrices = {n: corpus[n].build() for n in test.names}
+        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_seed() + 2)
+
+        rows = {}
+        for thr in (0.0, 0.5, 0.8, 1.0):
+            cs = ConfidenceSelector(
+                FormatSelector("xgboost", feature_set="set12"),
+                executor,
+                threshold=thr,
+                top_k=2,
+            )
+            cs.fit(train)
+            rows[thr] = cs.evaluate(test, matrices)
+        return rows
+
+    rows = run_once(measure)
+    print()
+    print(caption("Ablation: confidence gating",
+                  "probing low-confidence predictions buys back accuracy"))
+    print(render_table(
+        ["threshold", "accuracy", "probe rate", "device ms spent"],
+        [[f"{t:.1f}", f"{r['accuracy']:.2%}", f"{r['probe_rate']:.0%}",
+          f"{1e3 * r['probe_seconds_total']:.2f}"] for t, r in rows.items()],
+    ))
+
+    # Probe rate grows with the threshold; accuracy never collapses.
+    rates = [rows[t]["probe_rate"] for t in sorted(rows)]
+    assert all(b >= a for a, b in zip(rates, rates[1:]))
+    assert rows[1.0]["accuracy"] >= rows[0.0]["accuracy"] - 0.05

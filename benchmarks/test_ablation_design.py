@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own tables: they quantify how much each
+design decision contributes.
+
+* COO-exclusion rule (paper Sec. V-A): measured performance loss of
+  never choosing COO must be minimal.
+* Indirect-classification tolerance sweep (0-10 %).
+* MLP-ensemble size (1-9 members).
+* Label-noise robustness: accuracy vs simulator noise sigma.
+* HYB threshold policy: the paper's mu rule vs the cuSPARSE histogram
+  rule.
+"""
+
+import numpy as np
+
+from repro.bench import bench_corpus, bench_dataset, bench_seed, caption, render_series
+from repro.core import FormatSelector, IndirectClassifier, PerformancePredictor, build_dataset
+from repro.gpu import DEVICES, NoiseModel
+from repro.ml import KFold
+
+
+def _split(ds, seed=11):
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(ds))
+    n_test = max(1, len(ds) // 5)
+    return ds.subset(idx[n_test:]), ds.subset(idx[:n_test])
+
+
+def test_ablation_coo_exclusion_rule(run_once):
+    """Dropping COO costs almost nothing (paper Sec. V-A)."""
+
+    def measure():
+        ds = bench_dataset("k40c", "single")
+        coo_idx = ds.formats.index("coo")
+        labels = ds.labels
+        coo_best = labels == coo_idx
+        if not coo_best.any():
+            return {"coo_best_fraction": 0.0, "mean_loss": 0.0}
+        times = ds.times[coo_best]
+        best = times.min(axis=1)
+        rest = np.delete(times, coo_idx, axis=1).min(axis=1)
+        return {
+            "coo_best_fraction": float(coo_best.mean()),
+            "mean_loss": float((rest / best - 1.0).mean()),
+        }
+
+    r = run_once(measure)
+    print()
+    print(caption("Ablation: COO rule", "excluding COO loses <~5% on the few COO-best matrices"))
+    print(f"  COO-best fraction: {r['coo_best_fraction']:.3f}  mean loss if excluded: {r['mean_loss']:.3%}")
+    assert r["coo_best_fraction"] < 0.25
+    assert r["mean_loss"] < 0.25
+
+
+def test_ablation_tolerance_sweep(run_once):
+    """Indirect accuracy grows monotonically with the tolerance band."""
+
+    def measure():
+        ds = bench_dataset("k40c", "double").drop_coo_best()
+        train, test = _split(ds)
+        ic = IndirectClassifier(
+            PerformancePredictor("mlp_ensemble", feature_set="set123", mode="joint")
+        )
+        ic.fit(train)
+        return {f"{tol:.0%}": ic.score(test, tolerance=tol) for tol in (0.0, 0.02, 0.05, 0.10)}
+
+    accs = run_once(measure)
+    print()
+    print(caption("Ablation: tolerance", "Table XIV generalised to a sweep"))
+    print(render_series("indirect accuracy", accs))
+    vals = list(accs.values())
+    assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:])), "tolerance must not hurt"
+
+
+def test_ablation_ensemble_size(run_once):
+    """RME improves (then saturates) with ensemble size."""
+
+    def measure():
+        ds = bench_dataset("k40c", "double").drop_coo_best()
+        train, test = _split(ds)
+        out = {}
+        for m in (1, 3, 5, 9):
+            pp = PerformancePredictor(
+                "mlp_ensemble", feature_set="set123", mode="joint", n_members=m
+            )
+            pp.fit(train)
+            out[f"{m} members"] = pp.rme(test)
+        return out
+
+    rmes = run_once(measure)
+    print()
+    print(caption("Ablation: ensemble size", "the paper fixes 'an ensemble'; we sweep it"))
+    print(render_series("joint RME", rmes))
+    assert rmes["5 members"] <= rmes["1 members"] + 0.02
+
+
+def test_ablation_label_noise(run_once):
+    """Classification accuracy degrades gracefully with timing noise."""
+
+    def measure():
+        corpus = bench_corpus()
+        out = {}
+        for sigma in (0.0, 0.02, 0.08):
+            ds = build_dataset(
+                corpus,
+                DEVICES["k40c"],
+                "single",
+                noise=NoiseModel(sigma, 0.03),
+                seed=bench_seed(),
+            ).drop_coo_best()
+            accs = []
+            for tr, te in KFold(3, seed=5).split(len(ds)):
+                sel = FormatSelector("xgboost", feature_set="set12")
+                sel.fit(ds.subset(tr))
+                accs.append(sel.score(ds.subset(te)))
+            out[f"sigma={sigma:g}"] = float(np.mean(accs))
+        return out
+
+    accs = run_once(measure)
+    print()
+    print(caption("Ablation: label noise", "accuracy ceiling is set by measurement noise"))
+    print(render_series("xgboost set12 accuracy", accs))
+    assert accs["sigma=0"] >= accs["sigma=0.08"] - 0.05
+
+
+def test_ablation_hyb_threshold(run_once):
+    """The paper's mu threshold vs the cuSPARSE histogram rule."""
+    from repro.formats import HYBMatrix, histogram_threshold, mu_threshold
+    from repro.matrices import dense_rows, power_law
+
+    def measure():
+        out = {}
+        for name, A in (
+            ("dense_rows", dense_rows(30_000, 30_000, base_density=0.0005, n_dense=4, seed=2)),
+            ("power_law", power_law(30_000, 30_000, nnz=400_000, alpha=1.8, seed=3)),
+        ):
+            mu_split = HYBMatrix.from_coo(A, threshold=mu_threshold(A))
+            hist_split = HYBMatrix.from_coo(A, threshold=histogram_threshold(A))
+            out[name] = {
+                "mu_spill_frac": mu_split.coo_fraction,
+                "hist_spill_frac": hist_split.coo_fraction,
+                "mu_bytes": mu_split.memory_bytes(),
+                "hist_bytes": hist_split.memory_bytes(),
+            }
+        return out
+
+    r = run_once(measure)
+    print()
+    print(caption("Ablation: HYB threshold", "mu rule vs cuSPARSE histogram rule"))
+    for name, d in r.items():
+        print(
+            f"  {name:11s} spill mu={d['mu_spill_frac']:.3f} hist={d['hist_spill_frac']:.3f} "
+            f"bytes mu={d['mu_bytes'] / 1e6:.1f}M hist={d['hist_bytes'] / 1e6:.1f}M"
+        )
+    for d in r.values():
+        assert 0.0 <= d["mu_spill_frac"] <= 1.0
+        assert 0.0 <= d["hist_spill_frac"] <= 1.0

@@ -1,0 +1,43 @@
+"""Fig. 3 — GFLOPS of all six formats across matrices (K80c, single).
+
+Paper: achieved GFLOPS vary strongly per matrix (0-25 GF), the gap
+between formats on one matrix can be large, and *no single format wins
+everywhere*.
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench import caption, format_gflops_sweep, render_table
+from repro.formats import FORMAT_NAMES
+
+
+def test_fig03_no_single_winner(run_once):
+    sweep = run_once(format_gflops_sweep, 12)
+    print()
+    print(caption("Fig. 3", "K80c single: no single format is a consistent winner"))
+    print(
+        render_table(
+            ["matrix"] + list(FORMAT_NAMES),
+            [
+                [name] + [
+                    "fail" if math.isnan(row[f]) else f"{row[f]:.1f}" for f in FORMAT_NAMES
+                ]
+                for name, row in sweep.items()
+            ],
+        )
+    )
+
+    winners = set()
+    for row in sweep.values():
+        ok = {f: g for f, g in row.items() if not math.isnan(g)}
+        assert ok, "every format failed on a matrix"
+        winners.add(max(ok, key=ok.get))
+    assert len(winners) >= 2, f"a single format won everything: {winners}"
+
+    # GFLOPS magnitudes are in the paper's K80c range (0-30 GF) and the
+    # best per matrix spans a wide dynamic range.
+    best = [max(g for g in row.values() if not math.isnan(g)) for row in sweep.values()]
+    assert max(best) < 60.0
+    assert max(best) / max(min(best), 1e-9) > 2.0

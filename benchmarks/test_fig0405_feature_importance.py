@@ -1,0 +1,33 @@
+"""Figs. 4-5 — XGBoost feature importance (F-score) on both machines.
+
+Paper: the ordering differs between machines/precisions but the *same
+top-7 features* appear everywhere: n_rows, nnz_max, nnz_tot,
+nnz_sigma, nnz_frac, nnzb_tot, nnz_mu — notably including the
+set-3 chunk-count feature nnzb_tot.
+"""
+
+from repro.bench import caption, feature_importance, render_series
+from repro.features import IMP_FEATURES
+
+
+def test_fig0405_feature_importance(run_once):
+    # Time one configuration under the benchmark fixture, run the rest plain.
+    rankings = {("k40c", "single"): run_once(feature_importance, "k40c", "single")}
+    for dev, prec in (("p100", "single"), ("k40c", "double"), ("p100", "double")):
+        rankings[(dev, prec)] = feature_importance(dev, prec)
+
+    print()
+    print(caption("Figs. 4-5", "same top features across machines & precisions"))
+    for key, ranking in rankings.items():
+        print(render_series(f"{key[0]}/{key[1]} F-scores", dict(ranking[:10])))
+
+    for key, ranking in rankings.items():
+        top = [name for name, score in ranking[:9] if score > 0]
+        # The paper's imp. features should dominate the top of every
+        # ranking (allowing some reshuffling, as in the paper).
+        overlap = len(set(top) & set(IMP_FEATURES))
+        assert overlap >= 4, (
+            f"{key}: only {overlap} of the paper's imp. features in top-9: {top}"
+        )
+        # Importance must be spread over several features, not one.
+        assert len([s for _, s in ranking if s > 0]) >= 6

@@ -1,0 +1,29 @@
+"""Fig. 7 — per-format RME of the MLP-ensemble regressor (double).
+
+Paper: training one regressor per format gives low RME for every
+format; the structure-insensitive formats are the most predictable
+(CSR5 11-13 %, merge-CSR 9-11 %, CSR 8-11 %).
+"""
+
+from repro.bench import caption, regression_rme_per_format, render_series
+from repro.formats import FORMAT_NAMES
+
+
+def test_fig07_per_format_rme(run_once):
+    k40 = run_once(regression_rme_per_format, "k40c", "double")
+    p100 = regression_rme_per_format("p100", "double")
+    print()
+    print(caption("Fig. 7", "every format predictable; insensitive formats lowest RME"))
+    print(render_series("K80c double RME", k40))
+    print(render_series("P100 double RME", p100))
+
+    for result in (k40, p100):
+        assert set(result) == set(FORMAT_NAMES)
+        # Every format individually predictable (paper: <= ~25% even for
+        # the worst format/feature-set combination).
+        assert max(result.values()) < 0.40
+        # The load-balanced formats are among the most predictable:
+        # merge/CSR5 RME must not exceed the *worst* format's RME.
+        worst = max(result.values())
+        assert result["merge_csr"] <= worst
+        assert result["csr5"] <= worst

@@ -1,0 +1,61 @@
+"""Microbenchmarks of the Python SpMV kernels themselves.
+
+These time the *actual* format implementations (not the simulator) on
+a mid-size matrix, using pytest-benchmark's normal multi-round
+statistics.  They guard against performance regressions in the
+vectorised kernels — e.g. an accidental O(rows x width) ELL path or a
+de-vectorised merge partition loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, as_format
+from repro.matrices import power_law, stencil_2d
+
+
+@pytest.fixture(scope="module")
+def workload():
+    A = power_law(20_000, 20_000, nnz=300_000, alpha=2.2, seed=1)
+    x = np.random.default_rng(0).standard_normal(20_000)
+    return A, x
+
+
+@pytest.mark.parametrize("fmt", [f for f in FORMAT_NAMES if f != "ell"])
+def test_spmv_kernel(benchmark, workload, fmt):
+    A, x = workload
+    M = as_format(A, fmt)
+    y = benchmark(M.spmv, x)
+    assert y.shape == (A.n_rows,)
+
+
+def test_spmv_kernel_ell(benchmark):
+    # ELL gets a regular matrix (power-law padding would be pathological,
+    # exactly as on a real GPU).
+    A = stencil_2d(150, 150, points=9)
+    x = np.ones(A.n_cols)
+    M = as_format(A, "ell")
+    y = benchmark(M.spmv, x)
+    assert y.shape == (A.n_rows,)
+
+
+def test_feature_extraction_speed(benchmark, workload):
+    from repro.features import extract_features
+
+    A, _ = workload
+    feats = benchmark(extract_features, A)
+    assert feats["nnz_tot"] == A.nnz
+
+
+def test_profile_speed(benchmark, workload):
+    from repro.gpu import profile_matrix
+
+    A, _ = workload
+    prof = benchmark(profile_matrix, A)
+    assert prof.nnz == A.nnz
+
+
+def test_conversion_speed(benchmark, workload):
+    A, _ = workload
+    csr5 = benchmark(as_format, A, "csr5")
+    assert csr5.nnz == A.nnz

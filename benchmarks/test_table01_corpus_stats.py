@@ -1,0 +1,44 @@
+"""Table I — corpus characteristics by nnz range.
+
+Paper: 8 nnz bins over ~2300 SuiteSparse matrices; density falls from
+~4.6 % to ~0.002 % as size grows, mean nnz/row rises from 7 to ~850,
+and no clear pattern holds for the row-length standard deviation.
+"""
+
+from repro.bench import bench_scale, caption, corpus_statistics, render_table
+
+
+def test_table01_corpus_statistics(run_once):
+    rows = run_once(corpus_statistics)
+    assert rows, "corpus produced no bins"
+
+    print()
+    print(caption("Table I", "density falls with size; nnz_mu rises; sigma patternless"))
+    print(
+        render_table(
+            ["nnz range", "count", "avg rows", "avg cols", "avg dens %", "nnz_mu", "nnz_sigma"],
+            [
+                (
+                    r["range"],
+                    r["count"],
+                    f"{r['avg_rows']:.0f}",
+                    f"{r['avg_cols']:.0f}",
+                    f"{r['avg_density_pct']:.3f}",
+                    f"{r['avg_nnz_mu']:.1f}",
+                    f"{r['avg_nnz_sigma']:.1f}",
+                )
+                for r in rows
+            ],
+            title=f"(corpus scale = {bench_scale():g})",
+        )
+    )
+
+    # Shape assertions: density decreases from the smallest to the
+    # largest populated bin (paper's headline trend).
+    if len(rows) >= 3:
+        assert rows[0]["avg_density_pct"] > rows[-1]["avg_density_pct"], (
+            "density should fall with matrix size"
+        )
+    # Bin counts follow the (scaled) Table I histogram: first bin largest.
+    counts = [r["count"] for r in rows]
+    assert counts[0] == max(counts)

@@ -1,0 +1,28 @@
+"""Table IV — classification accuracy, basic ELL/CSR/HYB study.
+
+Paper: basic 3 formats, feature set 1 (5 O(1) features): 62-75%.
+"""
+
+from repro.formats import FORMAT_NAMES  # noqa: F401  (used by some tables)
+
+from _classification import run_and_render
+
+#: Paper-reported accuracies for side-by-side display.
+PAPER = {
+    ('k40c','single'): {"decision_tree": 0.69, "svm": 0.62, "mlp": 0.68, "xgboost": 0.69},
+    ('k40c','double'): {"decision_tree": 0.69, "svm": 0.62, "mlp": 0.68, "xgboost": 0.7},
+    ('p100','single'): {"decision_tree": 0.72, "svm": 0.72, "mlp": 0.75, "xgboost": 0.75},
+    ('p100','double'): {"decision_tree": 0.72, "svm": 0.69, "mlp": 0.73, "xgboost": 0.74},
+}
+
+
+def test_table04_basic3_set1(run_once):
+    run_and_render(
+        run_once,
+        exp_id="Table IV",
+        claim="basic 3 formats, feature set 1 (5 O(1) features): 62-75%",
+        formats=("ell", "csr", "hyb"),
+        feature_set="set1",
+        paper=PAPER,
+        min_best_accuracy=0.45,
+    )

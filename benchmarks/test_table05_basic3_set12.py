@@ -1,0 +1,28 @@
+"""Table V — classification accuracy, basic ELL/CSR/HYB study.
+
+Paper: basic 3 formats, sets 1+2 (11 features): 85-91%, XGBoost best.
+"""
+
+from repro.formats import FORMAT_NAMES  # noqa: F401  (used by some tables)
+
+from _classification import run_and_render
+
+#: Paper-reported accuracies for side-by-side display.
+PAPER = {
+    ('k40c','single'): {"decision_tree": 0.89, "svm": 0.88, "mlp": 0.88, "xgboost": 0.91},
+    ('k40c','double'): {"decision_tree": 0.86, "svm": 0.87, "mlp": 0.88, "xgboost": 0.89},
+    ('p100','single'): {"decision_tree": 0.85, "svm": 0.89, "mlp": 0.87, "xgboost": 0.88},
+    ('p100','double'): {"decision_tree": 0.86, "svm": 0.87, "mlp": 0.88, "xgboost": 0.89},
+}
+
+
+def test_table05_basic3_set12(run_once):
+    run_and_render(
+        run_once,
+        exp_id="Table V",
+        claim="basic 3 formats, sets 1+2 (11 features): 85-91%, XGBoost best",
+        formats=("ell", "csr", "hyb"),
+        feature_set="set12",
+        paper=PAPER,
+        min_best_accuracy=0.6,
+    )

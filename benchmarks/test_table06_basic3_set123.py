@@ -1,0 +1,28 @@
+"""Table VI — classification accuracy, basic ELL/CSR/HYB study.
+
+Paper: basic 3 formats, sets 1+2+3 (17 features): extra features don't help.
+"""
+
+from repro.formats import FORMAT_NAMES  # noqa: F401  (used by some tables)
+
+from _classification import run_and_render
+
+#: Paper-reported accuracies for side-by-side display.
+PAPER = {
+    ('k40c','single'): {"decision_tree": 0.87, "svm": 0.88, "mlp": 0.87, "xgboost": 0.91},
+    ('k40c','double'): {"decision_tree": 0.84, "svm": 0.87, "mlp": 0.86, "xgboost": 0.89},
+    ('p100','single'): {"decision_tree": 0.86, "svm": 0.88, "mlp": 0.86, "xgboost": 0.88},
+    ('p100','double'): {"decision_tree": 0.87, "svm": 0.87, "mlp": 0.89, "xgboost": 0.89},
+}
+
+
+def test_table06_basic3_set123(run_once):
+    run_and_render(
+        run_once,
+        exp_id="Table VI",
+        claim="basic 3 formats, sets 1+2+3 (17 features): extra features don't help",
+        formats=("ell", "csr", "hyb"),
+        feature_set="set123",
+        paper=PAPER,
+        min_best_accuracy=0.6,
+    )

@@ -1,0 +1,28 @@
+"""Table VII — classification accuracy, all six formats.
+
+Paper: all 6 formats, feature set 1: 60-69%.
+"""
+
+from repro.formats import FORMAT_NAMES  # noqa: F401  (used by some tables)
+
+from _classification import run_and_render
+
+#: Paper-reported accuracies for side-by-side display.
+PAPER = {
+    ('k40c','single'): {"decision_tree": 0.6, "svm": 0.62, "mlp": 0.62, "xgboost": 0.67},
+    ('k40c','double'): {"decision_tree": 0.64, "svm": 0.63, "mlp": 0.64, "xgboost": 0.68},
+    ('p100','single'): {"decision_tree": 0.65, "svm": 0.65, "mlp": 0.67, "xgboost": 0.69},
+    ('p100','double'): {"decision_tree": 0.63, "svm": 0.65, "mlp": 0.67, "xgboost": 0.69},
+}
+
+
+def test_table07_all6_set1(run_once):
+    run_and_render(
+        run_once,
+        exp_id="Table VII",
+        claim="all 6 formats, feature set 1: 60-69%",
+        formats=FORMAT_NAMES,
+        feature_set="set1",
+        paper=PAPER,
+        min_best_accuracy=0.4,
+    )

@@ -1,0 +1,28 @@
+"""Table VIII — classification accuracy, all six formats.
+
+Paper: all 6 formats, sets 1+2: 79-88%, XGBoost best.
+"""
+
+from repro.formats import FORMAT_NAMES  # noqa: F401  (used by some tables)
+
+from _classification import run_and_render
+
+#: Paper-reported accuracies for side-by-side display.
+PAPER = {
+    ('k40c','single'): {"decision_tree": 0.81, "svm": 0.83, "mlp": 0.83, "xgboost": 0.85},
+    ('k40c','double'): {"decision_tree": 0.81, "svm": 0.85, "mlp": 0.85, "xgboost": 0.88},
+    ('p100','single'): {"decision_tree": 0.79, "svm": 0.83, "mlp": 0.82, "xgboost": 0.84},
+    ('p100','double'): {"decision_tree": 0.81, "svm": 0.83, "mlp": 0.84, "xgboost": 0.86},
+}
+
+
+def test_table08_all6_set12(run_once):
+    run_and_render(
+        run_once,
+        exp_id="Table VIII",
+        claim="all 6 formats, sets 1+2: 79-88%, XGBoost best",
+        formats=FORMAT_NAMES,
+        feature_set="set12",
+        paper=PAPER,
+        min_best_accuracy=0.55,
+    )

@@ -1,0 +1,28 @@
+"""Table IX — classification accuracy, all six formats.
+
+Paper: all 6 formats, sets 1+2+3: no gain from the extra 6 features.
+"""
+
+from repro.formats import FORMAT_NAMES  # noqa: F401  (used by some tables)
+
+from _classification import run_and_render
+
+#: Paper-reported accuracies for side-by-side display.
+PAPER = {
+    ('k40c','single'): {"decision_tree": 0.78, "svm": 0.83, "mlp": 0.83, "xgboost": 0.85},
+    ('k40c','double'): {"decision_tree": 0.82, "svm": 0.85, "mlp": 0.85, "xgboost": 0.88},
+    ('p100','single'): {"decision_tree": 0.79, "svm": 0.83, "mlp": 0.82, "xgboost": 0.84},
+    ('p100','double'): {"decision_tree": 0.79, "svm": 0.83, "mlp": 0.83, "xgboost": 0.85},
+}
+
+
+def test_table09_all6_set123(run_once):
+    run_and_render(
+        run_once,
+        exp_id="Table IX",
+        claim="all 6 formats, sets 1+2+3: no gain from the extra 6 features",
+        formats=FORMAT_NAMES,
+        feature_set="set123",
+        paper=PAPER,
+        min_best_accuracy=0.55,
+    )

@@ -1,0 +1,42 @@
+"""Table XIV — direct XGBoost vs indirect (regression) classification.
+
+Paper: picking the format with the best *predicted* time loses 2-8 %
+accuracy at 0 % tolerance, but with a 5 % tolerance band the indirect
+method matches or beats direct classification (e.g. 92 % vs 88 % on
+K80c double) — competitive with CNN-based selectors at a fraction of
+the cost.
+"""
+
+from repro.bench import caption, format_pct, indirect_vs_direct, render_table
+
+PAPER = {
+    ("k40c", "single"): {"xgboost_direct": 0.85, "indirect_tol0": 0.78, "indirect_tol5": 0.90},
+    ("k40c", "double"): {"xgboost_direct": 0.88, "indirect_tol0": 0.86, "indirect_tol5": 0.92},
+    ("p100", "single"): {"xgboost_direct": 0.84, "indirect_tol0": 0.77, "indirect_tol5": 0.89},
+    ("p100", "double"): {"xgboost_direct": 0.86, "indirect_tol0": 0.78, "indirect_tol5": 0.87},
+}
+
+
+def test_table14_indirect_classification(run_once):
+    result = run_once(indirect_vs_direct)
+    print()
+    print(caption("Table XIV", "indirect@5% tolerance matches/beats direct XGBoost"))
+    rows = []
+    for (dev, prec), r in result.items():
+        p = PAPER[(dev, prec)]
+        rows.append(
+            (
+                f"{dev}/{prec}",
+                f"{format_pct(r['xgboost_direct'])} (paper {p['xgboost_direct']:.0%})",
+                f"{format_pct(r['indirect_tol0'])} (paper {p['indirect_tol0']:.0%})",
+                f"{format_pct(r['indirect_tol5'])} (paper {p['indirect_tol5']:.0%})",
+            )
+        )
+    print(render_table(["machine", "XGBoost direct", "indirect 0% tol", "indirect 5% tol"], rows))
+
+    for (dev, prec), r in result.items():
+        # Tolerance can only help.
+        assert r["indirect_tol5"] >= r["indirect_tol0"]
+        # The paper's headline: at 5% tolerance the indirect method is
+        # at least on par with direct classification.
+        assert r["indirect_tol5"] >= r["xgboost_direct"] - 0.05, (dev, prec, r)

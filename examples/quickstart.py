@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: formats, simulated GPUs, features, and format selection.
+
+Walks the library's whole pipeline on a handful of synthetic matrices:
+
+1. build sparse matrices with different structures,
+2. convert them between the six storage formats and run SpMV,
+3. time every format on the simulated Kepler GPU,
+4. extract the paper's 17 features,
+5. train an XGBoost-style selector on a small corpus and use it to
+   pick the format for an unseen matrix.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CSRMatrix, KEPLER_K40C, SpMVExecutor, as_format
+from repro.core import FormatSelector, build_dataset
+from repro.features import extract_features
+from repro.formats import FORMAT_NAMES
+from repro.matrices import SyntheticCorpus, banded, power_law
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # -- 1. two structurally different matrices -------------------------
+    regular = banded(5_000, 5_000, bandwidth=9, seed=1)
+    skewed = power_law(5_000, 5_000, nnz=45_000, alpha=1.7, seed=2)
+    print(f"regular: {regular.shape}, nnz={regular.nnz}")
+    print(f"skewed : {skewed.shape}, nnz={skewed.nnz}")
+
+    # -- 2. formats all compute the same product ------------------------
+    x = rng.standard_normal(regular.n_cols)
+    reference = CSRMatrix.from_coo(regular).spmv(x)
+    for name in FORMAT_NAMES:
+        y = as_format(regular, name).spmv(x)
+        assert np.allclose(y, reference, rtol=1e-10), name
+    print(f"all {len(FORMAT_NAMES)} formats agree with CSR on y = A @ x")
+
+    # -- 3. simulated timings -------------------------------------------
+    executor = SpMVExecutor(KEPLER_K40C, precision="single", seed=0)
+    print("\nsimulated K40c timings (mean of 50 reps):")
+    for matrix, label in ((regular, "regular"), (skewed, "skewed")):
+        samples = executor.benchmark_all(matrix)
+        times = {f: s.seconds * 1e6 for f, s in samples.items() if s is not None}
+        best = min(times, key=times.get)
+        row = "  ".join(f"{f}={t:8.1f}us" for f, t in times.items())
+        print(f"  {label:8s} {row}   -> best: {best}")
+
+    # -- 4. the paper's features ----------------------------------------
+    feats = extract_features(skewed)
+    print("\nfeatures of the skewed matrix (subset):")
+    for key in ("n_rows", "nnz_tot", "nnz_mu", "nnz_sigma", "nnz_max", "nnzb_tot"):
+        print(f"  {key:10s} = {feats[key]:.1f}")
+
+    # -- 5. train a selector on a small corpus --------------------------
+    print("\ntraining an XGBoost format selector on a 50-matrix corpus...")
+    corpus = SyntheticCorpus(scale=0.02, seed=7, max_nnz=300_000)
+    dataset = build_dataset(corpus, KEPLER_K40C, "single").drop_coo_best()
+    selector = FormatSelector("xgboost", feature_set="set12")
+    selector.fit(dataset)
+
+    for matrix, label in ((regular, "regular"), (skewed, "skewed")):
+        from repro.features import FEATURE_SETS, feature_vector
+
+        fv = feature_vector(extract_features(matrix), FEATURE_SETS["set12"])
+        predicted = selector.predict_formats(fv[None, :])[0]
+        print(f"  predicted best format for the {label} matrix: {predicted}")
+
+
+if __name__ == "__main__":
+    main()

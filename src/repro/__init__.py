@@ -1,0 +1,75 @@
+"""repro — ML-based sparse-format selection and SpMV performance modeling.
+
+This package is a from-scratch, self-contained reproduction of
+
+    Nisa, Siegel, Sukumaran-Rajam, Vishnu, Sadayappan,
+    "Effective Machine Learning Based Format Selection and Performance
+    Modeling for SpMV on GPUs", 2018 (EasyChair preprint 388).
+
+It provides:
+
+* ``repro.formats``  — six GPU sparse-matrix storage formats (COO, CSR,
+  ELL, HYB, CSR5, merge-based CSR) implemented on numpy arrays, each with
+  a functional SpMV kernel, conversions and memory accounting.
+* ``repro.gpu``      — an analytical GPU execution simulator (Kepler- and
+  Pascal-class device models) that stands in for the paper's K40c/K80c and
+  P100 testbeds: it executes SpMV numerically while producing realistic,
+  structure-sensitive timing samples.
+* ``repro.matrices`` — a synthetic sparse-matrix corpus shaped like the
+  SuiteSparse collection (the paper's dataset), plus Matrix Market I/O.
+* ``repro.features`` — the paper's 17 structural features (sets 1/2/3).
+* ``repro.ml``       — pure-numpy ML: decision trees, kernel SVM, MLPs and
+  MLP ensembles, XGBoost-style gradient boosting, preprocessing,
+  cross-validation and grid search.
+* ``repro.core``     — the paper's contribution: ground-truth labeling,
+  dataset assembly, direct format selection (classification), per-format
+  performance prediction (regression), and indirect classification via
+  predicted performance with a tolerance band.
+* ``repro.bench``    — the experiment harness that regenerates every table
+  and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.matrices import banded
+>>> from repro.formats import CSRMatrix
+>>> A = banded(1000, 1000, bandwidth=9, seed=0)
+>>> x = np.ones(A.shape[1])
+>>> y = CSRMatrix.from_coo(A).spmv(x)
+>>> y.shape
+(1000,)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# Re-export the most commonly used entry points at the package root so the
+# quickstart path is short.  Heavier subsystems (ml, core, bench) are
+# intentionally *not* imported here to keep ``import repro`` cheap.
+from .formats import (  # noqa: F401
+    COOMatrix,
+    CSRMatrix,
+    CSR5Matrix,
+    ELLMatrix,
+    HYBMatrix,
+    MergeCSRMatrix,
+    FORMAT_NAMES,
+    as_format,
+)
+from .gpu import SpMVExecutor, KEPLER_K40C, PASCAL_P100  # noqa: F401
+
+__all__ = [
+    "__version__",
+    "COOMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "CSR5Matrix",
+    "MergeCSRMatrix",
+    "FORMAT_NAMES",
+    "as_format",
+    "SpMVExecutor",
+    "KEPLER_K40C",
+    "PASCAL_P100",
+]

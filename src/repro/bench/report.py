@@ -1,0 +1,292 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every table/figure.
+
+Runs the full experiment battery (reusing the on-disk dataset cache the
+benchmark suite creates) and renders a Markdown report.  The repository
+ships the output of one run at the default bench scale; downstream
+users can regenerate at any scale:
+
+    python -m repro.bench.report --out EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..features import IMP_FEATURES
+from ..formats import FORMAT_NAMES
+from . import experiments as E
+from .runner import CONFIGS, bench_max_nnz, bench_scale, bench_seed
+
+__all__ = ["generate_report", "main"]
+
+#: Paper-reported numbers for the side-by-side columns.
+PAPER_CLASSIFICATION = {
+    # (table, formats, feature_set): {(dev, prec): {model: acc}}
+    "IV": {
+        ("k40c", "single"): {"decision_tree": .69, "svm": .62, "mlp": .68, "xgboost": .69},
+        ("k40c", "double"): {"decision_tree": .69, "svm": .62, "mlp": .68, "xgboost": .70},
+        ("p100", "single"): {"decision_tree": .72, "svm": .72, "mlp": .75, "xgboost": .75},
+        ("p100", "double"): {"decision_tree": .72, "svm": .69, "mlp": .73, "xgboost": .74},
+    },
+    "V": {
+        ("k40c", "single"): {"decision_tree": .89, "svm": .88, "mlp": .88, "xgboost": .91},
+        ("k40c", "double"): {"decision_tree": .86, "svm": .87, "mlp": .88, "xgboost": .89},
+        ("p100", "single"): {"decision_tree": .85, "svm": .89, "mlp": .87, "xgboost": .88},
+        ("p100", "double"): {"decision_tree": .86, "svm": .87, "mlp": .88, "xgboost": .89},
+    },
+    "VI": {
+        ("k40c", "single"): {"decision_tree": .87, "svm": .88, "mlp": .87, "xgboost": .91},
+        ("k40c", "double"): {"decision_tree": .84, "svm": .87, "mlp": .86, "xgboost": .89},
+        ("p100", "single"): {"decision_tree": .86, "svm": .88, "mlp": .86, "xgboost": .88},
+        ("p100", "double"): {"decision_tree": .87, "svm": .87, "mlp": .89, "xgboost": .89},
+    },
+    "VII": {
+        ("k40c", "single"): {"decision_tree": .60, "svm": .62, "mlp": .62, "xgboost": .67},
+        ("k40c", "double"): {"decision_tree": .64, "svm": .63, "mlp": .64, "xgboost": .68},
+        ("p100", "single"): {"decision_tree": .65, "svm": .65, "mlp": .67, "xgboost": .69},
+        ("p100", "double"): {"decision_tree": .63, "svm": .65, "mlp": .67, "xgboost": .69},
+    },
+    "VIII": {
+        ("k40c", "single"): {"decision_tree": .81, "svm": .83, "mlp": .83, "xgboost": .85},
+        ("k40c", "double"): {"decision_tree": .81, "svm": .85, "mlp": .85, "xgboost": .88},
+        ("p100", "single"): {"decision_tree": .79, "svm": .83, "mlp": .82, "xgboost": .84},
+        ("p100", "double"): {"decision_tree": .81, "svm": .83, "mlp": .84, "xgboost": .86},
+    },
+    "IX": {
+        ("k40c", "single"): {"decision_tree": .78, "svm": .83, "mlp": .83, "xgboost": .85},
+        ("k40c", "double"): {"decision_tree": .82, "svm": .85, "mlp": .85, "xgboost": .88},
+        ("p100", "single"): {"decision_tree": .79, "svm": .83, "mlp": .82, "xgboost": .84},
+        ("p100", "double"): {"decision_tree": .79, "svm": .83, "mlp": .83, "xgboost": .85},
+    },
+    "X": {
+        ("k40c", "single"): {"decision_tree": .79, "svm": .85, "mlp": .83, "xgboost": .85},
+        ("k40c", "double"): {"decision_tree": .83, "svm": .87, "mlp": .86, "xgboost": .88},
+        ("p100", "single"): {"decision_tree": .77, "svm": .83, "mlp": .83, "xgboost": .84},
+        ("p100", "double"): {"decision_tree": .79, "svm": .84, "mlp": .85, "xgboost": .86},
+    },
+}
+
+PAPER_TABLE14 = {
+    ("k40c", "single"): {"xgboost_direct": .85, "indirect_tol0": .78, "indirect_tol5": .90},
+    ("k40c", "double"): {"xgboost_direct": .88, "indirect_tol0": .86, "indirect_tol5": .92},
+    ("p100", "single"): {"xgboost_direct": .84, "indirect_tol0": .77, "indirect_tol5": .89},
+    ("p100", "double"): {"xgboost_direct": .86, "indirect_tol0": .78, "indirect_tol5": .87},
+}
+
+
+def _md_table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def _classification_block(table_id: str, formats, feature_set, cv: int) -> str:
+    measured = E.classification_table(
+        formats=formats, feature_set=feature_set, cv=cv
+    )
+    paper = PAPER_CLASSIFICATION[table_id]
+    rows = []
+    for (dev, prec), accs in measured.items():
+        p = paper[(dev, prec)]
+        rows.append(
+            [f"{dev}/{prec}"]
+            + [f"{accs[m]:.0%} *(paper {p[m]:.0%})*" for m in E.MODELS]
+        )
+    return _md_table(["machine"] + list(E.MODELS), rows)
+
+
+def generate_report(cv: int = 3, *, stream=None) -> str:
+    """Run every experiment and return the EXPERIMENTS.md text."""
+    log = stream or sys.stderr
+    parts: List[str] = []
+    scale = bench_scale()
+    parts.append(f"""# EXPERIMENTS — paper vs. measured
+
+Generated by ``python -m repro.bench.report`` at corpus scale
+**{scale:g}** (~{int(2290 * scale)} matrices; the paper uses ~2300),
+``max_nnz = {bench_max_nnz():,}``, seed {bench_seed()}, {cv}-fold CV.
+Ground truth comes from the GPU execution simulator (see DESIGN.md and
+docs/MODELING.md) — absolute numbers are not expected to match the
+paper's testbeds; the comparison targets are *who wins, by roughly what
+factor, and where the crossovers fall*.
+
+Regenerate at full scale with
+``REPRO_SCALE=1.0 REPRO_MAX_NNZ=200000000 python -m repro.bench.report``.
+""")
+
+    print("[report] Table I ...", file=log)
+    rows = E.corpus_statistics()
+    parts.append("## Table I — corpus characteristics\n")
+    parts.append(
+        "Paper: density falls from ~4.6 % to ~0.002 % with size; mean nnz/row "
+        "rises; row-length sigma shows no clean pattern.\n"
+    )
+    parts.append(_md_table(
+        ["nnz range", "count", "avg rows", "avg cols", "avg density %", "nnz_mu", "nnz_sigma"],
+        [[r["range"], r["count"], f"{r['avg_rows']:.0f}", f"{r['avg_cols']:.0f}",
+          f"{r['avg_density_pct']:.3f}", f"{r['avg_nnz_mu']:.1f}",
+          f"{r['avg_nnz_sigma']:.1f}"] for r in rows],
+    ))
+
+    print("[report] Fig 2 ...", file=log)
+    twins = E.twin_matrices()
+    parts.append("\n## Fig. 2 — same macro shape, different GFLOPS\n")
+    parts.append(
+        "Paper: rgg_n_2_19_s0 vs auto (~6.5 M nnz each): CSR5 22 vs 18 GF, "
+        "merge-CSR 21 vs 15 GF.\n"
+    )
+    parts.append(_md_table(
+        ["matrix", "rows", "nnz", "CSR5 GF", "merge-CSR GF"],
+        [[k, f"{v['rows']:,.0f}", f"{v['nnz']:,.0f}", f"{v['csr5_gflops']:.1f}",
+          f"{v['merge_csr_gflops']:.1f}"] for k, v in twins.items()],
+    ))
+
+    print("[report] Fig 3 ...", file=log)
+    sweep = E.format_gflops_sweep(12)
+    parts.append("\n## Fig. 3 — per-format GFLOPS (K80c, single)\n")
+    parts.append("Paper: 0–25 GF across matrices; no single format wins everywhere.\n")
+    parts.append(_md_table(
+        ["matrix"] + list(FORMAT_NAMES),
+        [[name] + [("fail" if g != g else f"{g:.1f}") for g in row.values()]
+         for name, row in sweep.items()],
+    ))
+
+    class_specs = [
+        ("IV", "Table IV — ELL/CSR/HYB, feature set 1 (5 features)",
+         ("ell", "csr", "hyb"), "set1"),
+        ("V", "Table V — ELL/CSR/HYB, sets 1+2 (11 features)",
+         ("ell", "csr", "hyb"), "set12"),
+        ("VI", "Table VI — ELL/CSR/HYB, sets 1+2+3 (17 features)",
+         ("ell", "csr", "hyb"), "set123"),
+        ("VII", "Table VII — all six formats, feature set 1",
+         FORMAT_NAMES, "set1"),
+        ("VIII", "Table VIII — all six formats, sets 1+2",
+         FORMAT_NAMES, "set12"),
+        ("IX", "Table IX — all six formats, sets 1+2+3",
+         FORMAT_NAMES, "set123"),
+        ("X", "Table X — all six formats, top-7 'imp.' features",
+         FORMAT_NAMES, tuple(IMP_FEATURES)),
+    ]
+    for table_id, title, formats, fs in class_specs:
+        print(f"[report] Table {table_id} ...", file=log)
+        parts.append(f"\n## {title}\n")
+        parts.append(_classification_block(table_id, formats, fs, cv))
+
+    print("[report] Figs 4-5 ...", file=log)
+    parts.append("\n## Figs. 4–5 — XGBoost feature importance (F-score)\n")
+    parts.append(
+        "Paper: per-machine orderings differ, but the same top-7 features "
+        f"dominate everywhere: {', '.join(IMP_FEATURES)}.\n"
+    )
+    for dev, prec in CONFIGS:
+        ranking = E.feature_importance(dev, prec)
+        top = ", ".join(f"{n} ({s})" for n, s in ranking[:7])
+        parts.append(f"* **{dev}/{prec}** top-7: {top}")
+
+    print("[report] Tables XI-XIII ...", file=log)
+    parts.append("\n\n## Tables XI–XIII — misprediction slowdowns (P100, double)\n")
+    parts.append(
+        "Paper: with 11+ features ~97 % of test matrices see no slowdown and "
+        "the ≥2× tail shrinks to ~1 case; feature set 1 leaves ~90 matrices "
+        "at ≥1.2×.\n"
+    )
+    for model in ("svm", "mlp", "xgboost"):
+        result = E.slowdown_analysis(model)
+        parts.append(f"\n**{model}**\n")
+        parts.append(_md_table(
+            ["feature set", "no slowdown", ">1x", ">=1.2x", ">=1.5x", ">=2.0x"],
+            [[fs, r["no_slowdown"], r["gt_1x"], r["ge_1.2x"], r["ge_1.5x"],
+              r["ge_2.0x"]] for fs, r in result.items()],
+        ))
+
+    print("[report] Fig 6 ...", file=log)
+    parts.append("\n## Fig. 6 — joint-regression RME by feature set (double)\n")
+    parts.append(
+        "Paper: MLP-ensemble ≤ MLP everywhere; best RME ≈ 10–12 % with rich "
+        "feature sets.\n"
+    )
+    for dev in ("k40c", "p100"):
+        res = E.regression_rme_by_feature_set(dev, "double")
+        parts.append(f"\n**{dev}/double**\n")
+        parts.append(_md_table(
+            ["feature set", "MLP RME", "MLP-ensemble RME"],
+            [[fs, f"{r['mlp']:.3f}", f"{r['mlp_ensemble']:.3f}"]
+             for fs, r in res.items()],
+        ))
+
+    print("[report] Fig 7 ...", file=log)
+    parts.append("\n## Fig. 7 — per-format RME, MLP ensemble (double)\n")
+    parts.append(
+        "Paper: every format individually predictable; CSR5 11–13 %, "
+        "merge-CSR 9–11 %, CSR 8–11 %.\n"
+    )
+    for dev in ("k40c", "p100"):
+        res = E.regression_rme_per_format(dev, "double")
+        parts.append(f"\n**{dev}/double**\n")
+        parts.append(_md_table(
+            ["format", "RME"],
+            [[f, f"{res[f]:.3f}"] for f in FORMAT_NAMES],
+        ))
+
+    print("[report] Table XIV ...", file=log)
+    parts.append("\n## Table XIV — direct vs indirect classification\n")
+    parts.append(
+        "Paper: indirect loses 2–8 points at 0 % tolerance but matches or "
+        "beats direct XGBoost at 5 % (e.g. 92 % vs 88 % on K80c double).\n"
+    )
+    result = E.indirect_vs_direct()
+    rows = []
+    for (dev, prec), r in result.items():
+        p = PAPER_TABLE14[(dev, prec)]
+        rows.append([
+            f"{dev}/{prec}",
+            f"{r['xgboost_direct']:.0%} *(paper {p['xgboost_direct']:.0%})*",
+            f"{r['indirect_tol0']:.0%} *(paper {p['indirect_tol0']:.0%})*",
+            f"{r['indirect_tol5']:.0%} *(paper {p['indirect_tol5']:.0%})*",
+        ])
+    parts.append(_md_table(
+        ["machine", "XGBoost direct", "indirect 0% tol", "indirect 5% tol"], rows
+    ))
+
+    parts.append("""
+
+## Reading the comparison
+
+* **Shapes that reproduce:** the large set-1 → set-1+2 accuracy jump;
+  set 3 adding nothing on top; XGBoost best-or-near-best in every cell;
+  the same top-7 features across machines and precisions (with
+  `nnzb_tot` among them); the MLP ensemble beating the single MLP;
+  slowdown tails collapsing once set 2 is available; indirect
+  classification catching direct selection at a 5 % tolerance band.
+* **Known deviations:** absolute accuracies at CI scale sit a few
+  points below the paper (a tenth of the training data); the simulated
+  corpus lacks the paper's ≥5M-nnz giants at default ``max_nnz``, which
+  is where merge-CSR collects most of its wins; regression RME is
+  better than the paper's ~10 % because an analytical simulator is
+  smoother than real hardware even with calibrated noise.
+* Ablation benches (``benchmarks/test_ablation_*.py``) cover the COO
+  exclusion rule, tolerance sweeps, ensemble sizes, label-noise
+  robustness, HYB threshold policies, the DIA/BSR extended study, the
+  CNN image selector and the adaptive sampling baseline.
+""")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument("--cv", type=int, default=3)
+    args = parser.parse_args(argv)
+    text = generate_report(cv=args.cv)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

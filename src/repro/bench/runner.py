@@ -1,0 +1,91 @@
+"""Shared experiment runner for the benchmark suite.
+
+Every table/figure bench needs the same expensive artefact: a labeled
+dataset per (device, precision).  This module owns that lifecycle:
+
+* experiment scale is configured by environment variables so the same
+  bench files run in CI minutes or at full paper scale:
+
+  - ``REPRO_SCALE``   — corpus fraction of the ~2300-matrix collection
+    (default ``0.05``; the paper is ``1.0``),
+  - ``REPRO_MAX_NNZ`` — per-matrix nnz cap (default ``2_000_000``),
+  - ``REPRO_SEED``    — master seed (default ``0``),
+  - ``REPRO_CACHE``   — dataset cache directory (default
+    ``.repro_cache`` under the current directory);
+
+* datasets are built once per process and cached both in memory and on
+  disk (``.npz``), exactly as the paper reuses one measurement campaign
+  for all its tables.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Tuple
+
+from ..core import SpMVDataset, build_dataset
+from ..gpu import DEVICES, DeviceSpec
+from ..matrices import SyntheticCorpus
+
+__all__ = [
+    "bench_scale",
+    "bench_max_nnz",
+    "bench_seed",
+    "bench_corpus",
+    "bench_dataset",
+    "CONFIGS",
+]
+
+#: The paper's four measurement configurations: (device key, precision).
+CONFIGS: Tuple[Tuple[str, str], ...] = (
+    ("k40c", "single"),
+    ("k40c", "double"),
+    ("p100", "single"),
+    ("p100", "double"),
+)
+
+
+def bench_scale() -> float:
+    """Corpus scale for benches (env ``REPRO_SCALE``, default 0.1)."""
+    return float(os.environ.get("REPRO_SCALE", "0.1"))
+
+
+def bench_max_nnz() -> int:
+    """Per-matrix nnz cap (env ``REPRO_MAX_NNZ``, default 2e6)."""
+    return int(float(os.environ.get("REPRO_MAX_NNZ", "2000000")))
+
+
+def bench_seed() -> int:
+    """Master seed (env ``REPRO_SEED``, default 0)."""
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+def _cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
+
+
+@lru_cache(maxsize=4)
+def bench_corpus() -> SyntheticCorpus:
+    """The benchmark corpus at the configured scale (process-cached)."""
+    return SyntheticCorpus(
+        scale=bench_scale(), seed=bench_seed(), max_nnz=bench_max_nnz()
+    )
+
+
+@lru_cache(maxsize=8)
+def bench_dataset(device_key: str = "k40c", precision: str = "single") -> SpMVDataset:
+    """Labeled dataset for one configuration (memory + disk cached)."""
+    device: DeviceSpec = DEVICES[device_key]
+    tag = (
+        f"{device_key}_{precision}_s{bench_scale():g}_m{bench_max_nnz()}"
+        f"_r{bench_seed()}.npz"
+    )
+    return build_dataset(
+        bench_corpus(),
+        device,
+        precision,
+        seed=bench_seed(),
+        cache_path=_cache_dir() / tag,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+The benchmark suite prints each experiment in the same row/column
+layout the paper uses, next to the paper's reported numbers, so a
+reader can eyeball the reproduction quality straight from the pytest
+output (and EXPERIMENTS.md is generated from the same renderer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "format_pct", "caption"]
+
+
+def format_pct(value: float) -> str:
+    """``0.876`` → ``"88%"`` (the paper reports whole percents)."""
+    return f"{100.0 * value:.0f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str = "",
+) -> str:
+    """Monospace table with auto-sized columns."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, points: Dict[str, float], *, unit: str = "", bar_width: int = 40
+) -> str:
+    """ASCII bar chart for figure-style results (RME curves, importance)."""
+    if not points:
+        return f"{name}: (no data)"
+    peak = max(abs(v) for v in points.values()) or 1.0
+    lines = [name]
+    for label, value in points.items():
+        bar = "#" * max(1, int(round(bar_width * abs(value) / peak)))
+        lines.append(f"  {label:>14s} {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def caption(exp_id: str, paper_claim: str) -> str:
+    """Standard header tying a bench to its paper artefact."""
+    return f"[{exp_id}] paper: {paper_claim}"

@@ -1,0 +1,249 @@
+"""Command-line interface: ``repro-spmv``.
+
+Subcommands cover the full workflow a downstream user needs:
+
+* ``corpus``   — sample the synthetic SuiteSparse-shaped corpus and write
+  Matrix Market files plus a manifest.
+* ``features`` — print the paper's 17 features for ``.mtx`` files.
+* ``label``    — run the measurement campaign on a simulated device and
+  save an ``SpMVDataset`` (``.npz``).
+* ``train``    — fit a format selector on a labeled dataset and pickle it.
+* ``predict``  — load a trained selector and pick formats for ``.mtx``
+  files.
+* ``table``    — regenerate one of the paper's tables/figures at the
+  configured scale.
+
+Every command is importable (``from repro.cli import main``) and returns
+a process exit code, so the test suite drives it in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv",
+        description="ML-based SpMV format selection & performance modeling "
+        "(reproduction of Nisa et al., 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="generate the synthetic corpus as .mtx files")
+    p.add_argument("--scale", type=float, default=0.01, help="corpus fraction of ~2300")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-nnz", type=int, default=1_000_000)
+    p.add_argument("--out", type=Path, required=True, help="output directory")
+
+    p = sub.add_parser("features", help="print the 17 features of .mtx files")
+    p.add_argument("files", nargs="+", type=Path)
+
+    p = sub.add_parser("label", help="run the simulated measurement campaign")
+    p.add_argument("--device", default="k40c", choices=("k40c", "k80c", "p100"))
+    p.add_argument("--precision", default="single", choices=("single", "double"))
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-nnz", type=int, default=1_000_000)
+    p.add_argument("--reps", type=int, default=50)
+    p.add_argument("--out", type=Path, required=True, help="output .npz path")
+
+    p = sub.add_parser("train", help="train a format selector on a dataset")
+    p.add_argument("--dataset", type=Path, required=True, help=".npz from 'label'")
+    p.add_argument("--model", default="xgboost",
+                   choices=("decision_tree", "svm", "mlp", "mlp_ensemble", "xgboost"))
+    p.add_argument("--feature-set", default="set12",
+                   choices=("set1", "set12", "set123", "imp"))
+    p.add_argument("--keep-coo-best", action="store_true",
+                   help="skip the paper's Sec. V-A COO-exclusion rule")
+    p.add_argument("--out", type=Path, required=True, help="output .pkl path")
+
+    p = sub.add_parser("predict", help="pick the best format for .mtx files")
+    p.add_argument("--model", type=Path, required=True, help=".pkl from 'train'")
+    p.add_argument("files", nargs="+", type=Path)
+
+    p = sub.add_parser("table", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=("table1", "fig3", "table5", "table8",
+                                    "table10", "fig6", "table14", "importance"))
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_corpus(args) -> int:
+    from .matrices import SyntheticCorpus, write_matrix_market
+
+    corpus = SyntheticCorpus(scale=args.scale, seed=args.seed, max_nnz=args.max_nnz)
+    args.out.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for entry in corpus:
+        matrix = entry.build()
+        path = args.out / f"{entry.name}.mtx"
+        write_matrix_market(
+            matrix, path, comment=f"family={entry.family} seed={entry.seed}"
+        )
+        manifest.append(f"{entry.name},{entry.family},{matrix.n_rows},"
+                        f"{matrix.n_cols},{matrix.nnz}")
+    (args.out / "manifest.csv").write_text(
+        "name,family,rows,cols,nnz\n" + "\n".join(manifest) + "\n"
+    )
+    print(f"wrote {len(corpus)} matrices to {args.out}")
+    return 0
+
+
+def _cmd_features(args) -> int:
+    from .features import ALL_FEATURES, extract_features
+    from .matrices import read_matrix_market
+
+    header = "matrix," + ",".join(ALL_FEATURES)
+    print(header)
+    for path in args.files:
+        feats = extract_features(read_matrix_market(path))
+        print(f"{path.name}," + ",".join(f"{feats[f]:.6g}" for f in ALL_FEATURES))
+    return 0
+
+
+def _cmd_label(args) -> int:
+    from .core import build_dataset
+    from .gpu import DEVICES
+    from .matrices import SyntheticCorpus
+
+    corpus = SyntheticCorpus(scale=args.scale, seed=args.seed, max_nnz=args.max_nnz)
+    ds = build_dataset(
+        corpus,
+        DEVICES[args.device],
+        args.precision,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    ds.save(args.out)
+    from collections import Counter
+
+    dist = Counter(ds.label_names.tolist())
+    print(f"labeled {len(ds)} matrices on {ds.device} ({ds.precision})")
+    print("best-format distribution: "
+          + ", ".join(f"{k}={v}" for k, v in dist.most_common()))
+    print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core import FormatSelector, SpMVDataset
+
+    ds = SpMVDataset.load(args.dataset)
+    if not args.keep_coo_best:
+        ds = ds.drop_coo_best()
+    selector = FormatSelector(args.model, feature_set=args.feature_set)
+    selector.fit(ds)
+    acc = selector.score(ds)
+    with open(args.out, "wb") as fh:
+        pickle.dump(selector, fh)
+    print(f"trained {args.model} on {len(ds)} matrices "
+          f"(training accuracy {acc:.1%}); saved {args.out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .features import FEATURE_SETS, extract_features, feature_vector
+    from .matrices import read_matrix_market
+
+    with open(args.model, "rb") as fh:
+        selector = pickle.load(fh)
+    names = (
+        FEATURE_SETS[selector.feature_set]
+        if isinstance(selector.feature_set, str)
+        else selector.feature_set
+    )
+    for path in args.files:
+        matrix = read_matrix_market(path)
+        fv = feature_vector(extract_features(matrix), names)
+        fmt = selector.predict_formats(fv[None, :])[0]
+        print(f"{path.name}: {fmt}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .bench import (
+        classification_table,
+        corpus_statistics,
+        feature_importance,
+        format_gflops_sweep,
+        imp_features_table,
+        indirect_vs_direct,
+        regression_rme_by_feature_set,
+        render_series,
+        render_table,
+    )
+
+    if args.name == "table1":
+        rows = corpus_statistics()
+        print(render_table(
+            ["range", "count", "rows", "cols", "dens%", "mu", "sigma"],
+            [(r["range"], r["count"], f"{r['avg_rows']:.0f}", f"{r['avg_cols']:.0f}",
+              f"{r['avg_density_pct']:.3f}", f"{r['avg_nnz_mu']:.1f}",
+              f"{r['avg_nnz_sigma']:.1f}") for r in rows],
+        ))
+    elif args.name == "fig3":
+        sweep = format_gflops_sweep(10)
+        for name, row in sweep.items():
+            print(name, {k: round(v, 1) for k, v in row.items()})
+    elif args.name in ("table5", "table8"):
+        formats = ("ell", "csr", "hyb") if args.name == "table5" else None
+        kwargs = {"formats": formats} if formats else {}
+        result = classification_table(feature_set="set12", cv=3, **kwargs)
+        print(render_table(
+            ["machine"] + sorted(next(iter(result.values()))),
+            [[f"{d}/{p}"] + [f"{accs[m]:.0%}" for m in sorted(accs)]
+             for (d, p), accs in result.items()],
+        ))
+    elif args.name == "table10":
+        result = imp_features_table(cv=3)
+        print(render_table(
+            ["machine"] + sorted(next(iter(result.values()))),
+            [[f"{d}/{p}"] + [f"{accs[m]:.0%}" for m in sorted(accs)]
+             for (d, p), accs in result.items()],
+        ))
+    elif args.name == "fig6":
+        result = regression_rme_by_feature_set()
+        for fs, row in result.items():
+            print(f"{fs}: MLP={row['mlp']:.3f} ensemble={row['mlp_ensemble']:.3f}")
+    elif args.name == "table14":
+        result = indirect_vs_direct()
+        for key, row in result.items():
+            print(key, {k: f"{v:.0%}" for k, v in row.items()})
+    elif args.name == "importance":
+        ranking = feature_importance()
+        print(render_series("XGBoost F-scores", dict(ranking)))
+    return 0
+
+
+_COMMANDS = {
+    "corpus": _cmd_corpus,
+    "features": _cmd_features,
+    "label": _cmd_label,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "table": _cmd_table,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's contribution: labeling, selection, performance modeling.
+
+Pipeline overview (matching the paper's Secs. IV–VI):
+
+1. :func:`~repro.core.dataset.build_dataset` — run the 50-rep labeling
+   protocol over a corpus on one simulated device/precision.
+2. :class:`~repro.core.selector.FormatSelector` — direct best-format
+   classification (decision tree / SVM / MLP / XGBoost).
+3. :class:`~repro.core.predictor.PerformancePredictor` — per-format or
+   joint execution-time regression (MLP / MLP ensemble / others).
+4. :class:`~repro.core.indirect.IndirectClassifier` — format selection
+   via predicted times with a tolerance band.
+5. :mod:`~repro.core.analysis` — feature importance, slowdown tables.
+"""
+
+from .analysis import (  # noqa: F401
+    feature_importance_ranking,
+    misprediction_slowdowns,
+    slowdown_table_row,
+    top_k_features,
+)
+from .confidence import ConfidenceDecision, ConfidenceSelector  # noqa: F401
+from .dataset import SpMVDataset, build_dataset  # noqa: F401
+from .indirect import IndirectClassifier, tolerant_accuracy  # noqa: F401
+from .labeling import DEFAULT_REPS, MatrixLabel, label_matrix  # noqa: F401
+from .predictor import REGRESSOR_REGISTRY, PerformancePredictor  # noqa: F401
+from .sampling import SamplingSelector, sample_rows  # noqa: F401
+from .selector import MODEL_REGISTRY, PAPER_GRIDS, FormatSelector, tuned_selector  # noqa: F401
+
+__all__ = [
+    "MatrixLabel",
+    "label_matrix",
+    "DEFAULT_REPS",
+    "SpMVDataset",
+    "build_dataset",
+    "FormatSelector",
+    "MODEL_REGISTRY",
+    "PAPER_GRIDS",
+    "tuned_selector",
+    "PerformancePredictor",
+    "REGRESSOR_REGISTRY",
+    "IndirectClassifier",
+    "tolerant_accuracy",
+    "SamplingSelector",
+    "sample_rows",
+    "ConfidenceSelector",
+    "ConfidenceDecision",
+    "feature_importance_ranking",
+    "top_k_features",
+    "misprediction_slowdowns",
+    "slowdown_table_row",
+]

@@ -1,0 +1,74 @@
+"""Result analysis: feature importance, slowdown tables, penalties.
+
+Implements the paper's "in-depth analysis" artefacts:
+
+* XGBoost feature-importance rankings (Figs. 4–5) and the derived
+  top-k "imp." feature subset (Sec. V-D),
+* misprediction slowdown histograms (Tables XI–XIII),
+* per-matrix misprediction penalties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..features import FEATURE_SETS
+from ..ml import GradientBoostingClassifier, slowdown_factors, slowdown_histogram
+from .dataset import SpMVDataset
+from .selector import FormatSelector
+
+__all__ = [
+    "feature_importance_ranking",
+    "top_k_features",
+    "misprediction_slowdowns",
+    "slowdown_table_row",
+]
+
+
+def feature_importance_ranking(
+    data: SpMVDataset,
+    *,
+    feature_set: str = "set123",
+    n_estimators: int = 120,
+    max_depth: int = 6,
+    seed: int = 0,
+) -> List[Tuple[str, int]]:
+    """XGBoost F-score ranking of features (paper Figs. 4–5).
+
+    Trains a gradient-boosted classifier on the full dataset and
+    returns ``(feature, f_score)`` pairs sorted descending, where the
+    F-score is the number of tree splits that used the feature —
+    exactly the statistic the paper plots.
+    """
+    names = FEATURE_SETS[feature_set]
+    clf = GradientBoostingClassifier(
+        n_estimators=n_estimators, max_depth=max_depth, seed=seed
+    )
+    clf.fit(data.X(feature_set), data.labels)
+    pairs = sorted(zip(names, clf.f_scores_), key=lambda p: -p[1])
+    return [(name, int(score)) for name, score in pairs]
+
+
+def top_k_features(
+    data: SpMVDataset, k: int = 7, *, feature_set: str = "set123", seed: int = 0
+) -> Tuple[str, ...]:
+    """The top-``k`` features by XGBoost F-score (the paper's "imp." set)."""
+    ranking = feature_importance_ranking(data, feature_set=feature_set, seed=seed)
+    return tuple(name for name, _ in ranking[:k])
+
+
+def misprediction_slowdowns(
+    selector: FormatSelector, test: SpMVDataset
+) -> np.ndarray:
+    """Per-test-matrix slowdown of the selector's chosen format (≥ 1)."""
+    pred = selector.predict(test)
+    return slowdown_factors(test.times, test.labels, pred)
+
+
+def slowdown_table_row(
+    selector: FormatSelector, test: SpMVDataset
+) -> Dict[str, int]:
+    """One row of Tables XI–XIII: the slowdown-case histogram."""
+    return slowdown_histogram(misprediction_slowdowns(selector, test))

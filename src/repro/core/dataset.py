@@ -1,0 +1,216 @@
+"""Dataset assembly: corpus → (features, labels, times) arrays.
+
+:func:`build_dataset` runs the labeling protocol over a corpus on one
+simulated device/precision and packs the result into an
+:class:`SpMVDataset` — the object every experiment in the paper's
+evaluation consumes.  Datasets serialise to ``.npz`` so the expensive
+labeling pass can be cached between benchmark tables (all the paper's
+tables reuse one measurement campaign per device/precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..features import ALL_FEATURES, FEATURE_SETS, extract_features
+from ..formats import FORMAT_NAMES
+from ..gpu import DeviceSpec, NoiseModel, SpMVExecutor
+from ..matrices import SyntheticCorpus
+from .labeling import DEFAULT_REPS, MatrixLabel, label_matrix
+
+__all__ = ["SpMVDataset", "build_dataset"]
+
+
+@dataclass
+class SpMVDataset:
+    """Labeled SpMV measurement campaign over a corpus.
+
+    Attributes
+    ----------
+    names:
+        Matrix names, length ``n``.
+    feature_array:
+        ``(n, 17)`` feature matrix in :data:`repro.features.ALL_FEATURES`
+        order.
+    times:
+        ``(n, n_formats)`` mean execution seconds.
+    formats:
+        Format names defining the column order of ``times``.
+    labels:
+        Best-format index per matrix (argmin of ``times``).
+    device, precision:
+        Provenance of the measurements.
+    """
+
+    names: List[str]
+    feature_array: np.ndarray
+    times: np.ndarray
+    formats: Tuple[str, ...]
+    device: str
+    precision: str
+
+    def __post_init__(self) -> None:
+        n = len(self.names)
+        if self.feature_array.shape != (n, len(ALL_FEATURES)):
+            raise ValueError("feature_array shape mismatch")
+        if self.times.shape != (n, len(self.formats)):
+            raise ValueError("times shape mismatch")
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Best-format index per matrix."""
+        return np.argmin(self.times, axis=1)
+
+    @property
+    def label_names(self) -> np.ndarray:
+        """Best-format name per matrix."""
+        return np.array(self.formats)[self.labels]
+
+    @property
+    def gflops(self) -> np.ndarray:
+        """Achieved GFLOP/s per (matrix, format)."""
+        nnz = self.feature_array[:, ALL_FEATURES.index("nnz_tot")]
+        return 2.0 * nnz[:, None] / self.times / 1e9
+
+    def X(self, feature_set: Union[str, Sequence[str]] = "set123") -> np.ndarray:
+        """Feature matrix restricted to a named set or explicit list.
+
+        ``feature_set`` may be one of :data:`repro.features.FEATURE_SETS`
+        keys (``"set1"``, ``"set12"``, ``"set123"``, ``"imp"``) or an
+        explicit sequence of feature names.
+        """
+        names = FEATURE_SETS[feature_set] if isinstance(feature_set, str) else feature_set
+        idx = [ALL_FEATURES.index(f) for f in names]
+        return self.feature_array[:, idx]
+
+    def subset(self, mask: np.ndarray) -> "SpMVDataset":
+        """Row-subset of the dataset (boolean mask or index array)."""
+        mask = np.asarray(mask)
+        idx = np.flatnonzero(mask) if mask.dtype == bool else mask
+        return SpMVDataset(
+            names=[self.names[i] for i in idx],
+            feature_array=self.feature_array[idx],
+            times=self.times[idx],
+            formats=self.formats,
+            device=self.device,
+            precision=self.precision,
+        )
+
+    def restrict_formats(self, formats: Sequence[str]) -> "SpMVDataset":
+        """Project onto a format subset (e.g. the basic ELL/CSR/HYB study)."""
+        cols = [self.formats.index(f) for f in formats]
+        return SpMVDataset(
+            names=list(self.names),
+            feature_array=self.feature_array,
+            times=self.times[:, cols],
+            formats=tuple(formats),
+            device=self.device,
+            precision=self.precision,
+        )
+
+    def drop_coo_best(self) -> "SpMVDataset":
+        """Apply the paper's Sec. V-A rule: drop matrices where COO wins."""
+        if "coo" not in self.formats:
+            return self
+        coo_idx = self.formats.index("coo")
+        return self.subset(self.labels != coo_idx)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise to ``.npz``."""
+        np.savez_compressed(
+            path,
+            names=np.array(self.names),
+            feature_array=self.feature_array,
+            times=self.times,
+            formats=np.array(self.formats),
+            device=self.device,
+            precision=self.precision,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SpMVDataset":
+        """Load a dataset saved by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as z:
+            return cls(
+                names=[str(s) for s in z["names"]],
+                feature_array=z["feature_array"],
+                times=z["times"],
+                formats=tuple(str(s) for s in z["formats"]),
+                device=str(z["device"]),
+                precision=str(z["precision"]),
+            )
+
+
+def build_dataset(
+    corpus: SyntheticCorpus,
+    device: DeviceSpec,
+    precision: str = "single",
+    *,
+    formats: Sequence[str] = FORMAT_NAMES,
+    reps: int = DEFAULT_REPS,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+    cache_path: Optional[Union[str, Path]] = None,
+) -> SpMVDataset:
+    """Label a whole corpus on one simulated device/precision.
+
+    Matrices failing any requested format are dropped (the paper's
+    protocol).  If ``cache_path`` exists it is loaded instead of
+    re-measuring; after a fresh build the dataset is saved there.
+    """
+    if cache_path is not None and Path(cache_path).exists():
+        ds = SpMVDataset.load(cache_path)
+        if ds.formats == tuple(formats) and ds.precision == precision:
+            return ds
+
+    executor = SpMVExecutor(device, precision, noise=noise, seed=seed)
+    names: List[str] = []
+    feats: List[np.ndarray] = []
+    rows: List[np.ndarray] = []
+    for entry in corpus:
+        matrix = entry.build()
+        profile = executor.profile(matrix)
+        features = extract_features(matrix)
+        try:
+            label: MatrixLabel = label_matrix(
+                executor,
+                matrix,
+                name=entry.name,
+                formats=formats,
+                reps=reps,
+                features=features,
+                profile=profile,
+            )
+        except ValueError:
+            continue  # every format failed
+        if not label.complete:
+            continue  # paper: drop matrices failing any format
+        names.append(entry.name)
+        feats.append(np.array([features[f] for f in ALL_FEATURES]))
+        rows.append(np.array([label.times[f] for f in formats]))
+
+    if not names:
+        raise ValueError("no corpus matrix survived labeling")
+    ds = SpMVDataset(
+        names=names,
+        feature_array=np.vstack(feats),
+        times=np.vstack(rows),
+        formats=tuple(formats),
+        device=device.name,
+        precision=precision,
+    )
+    if cache_path is not None:
+        Path(cache_path).parent.mkdir(parents=True, exist_ok=True)
+        ds.save(cache_path)
+    return ds

@@ -1,0 +1,262 @@
+"""Direct format selection: the paper's classification models.
+
+:class:`FormatSelector` wraps one of the paper's four model families —
+decision tree, multiclass SVM, MLP, XGBoost — behind one interface:
+
+>>> selector = FormatSelector("xgboost", feature_set="set12")   # doctest: +SKIP
+>>> selector.fit(dataset)                                       # doctest: +SKIP
+>>> selector.predict_formats(test_features)                     # doctest: +SKIP
+
+Scale-sensitive models (SVM, MLP) are automatically wrapped in the
+log1p + standardise pipeline; trees/boosting consume raw features.
+Hyper-parameter defaults follow Sec. IV-D, and :func:`tuned_selector`
+reproduces the paper's GridSearchCV sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..features import FEATURE_SETS
+from ..ml import (
+    SVC,
+    BaseEstimator,
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    GridSearchCV,
+    Log1pTransformer,
+    MLPClassifier,
+    MLPEnsembleClassifier,
+    Pipeline,
+    StandardScaler,
+    accuracy_score,
+    clone,
+)
+from .dataset import SpMVDataset
+
+__all__ = ["FormatSelector", "MODEL_REGISTRY", "PAPER_GRIDS", "tuned_selector"]
+
+
+def _scaled(estimator: BaseEstimator) -> Pipeline:
+    """Wrap a scale-sensitive model in log1p + standardisation."""
+    return Pipeline(
+        [
+            ("log", Log1pTransformer()),
+            ("scale", StandardScaler()),
+            ("model", estimator),
+        ]
+    )
+
+
+def _make_decision_tree(**kw) -> BaseEstimator:
+    return DecisionTreeClassifier(**{"max_depth": 12, **kw})
+
+
+def _make_svm(**kw) -> BaseEstimator:
+    return _scaled(SVC(**{"C": 100.0, "gamma": 0.1, **kw}))
+
+
+def _make_mlp(**kw) -> BaseEstimator:
+    # The paper's topology: 96-48-16 hidden neurons, batch size 16.
+    return _scaled(
+        MLPClassifier(
+            **{
+                "hidden_layer_sizes": (96, 48, 16),
+                "batch_size": 16,
+                "n_epochs": 150,
+                **kw,
+            }
+        )
+    )
+
+
+def _make_mlp_ensemble(**kw) -> BaseEstimator:
+    return _scaled(
+        MLPEnsembleClassifier(
+            **{
+                "n_members": 5,
+                "hidden_layer_sizes": (96, 48, 16),
+                "batch_size": 16,
+                "n_epochs": 120,
+                **kw,
+            }
+        )
+    )
+
+
+def _make_xgboost(**kw) -> BaseEstimator:
+    # Depth-4 + min_child_weight=2 + row subsampling keep the booster
+    # honest on the few hundred training matrices of CI-scale runs while
+    # matching the paper-scale accuracy of deeper settings.
+    return GradientBoostingClassifier(
+        **{
+            "n_estimators": 150,
+            "max_depth": 4,
+            "learning_rate": 0.1,
+            "min_child_weight": 1.0,
+            "subsample": 0.9,
+            **kw,
+        }
+    )
+
+
+#: Model factories, keyed by the paper's model names.
+MODEL_REGISTRY = {
+    "decision_tree": _make_decision_tree,
+    "svm": _make_svm,
+    "mlp": _make_mlp,
+    "mlp_ensemble": _make_mlp_ensemble,
+    "xgboost": _make_xgboost,
+}
+
+#: The paper's Sec. IV-D GridSearchCV ranges (trimmed depths: the quoted
+#: 32–128 exceed what 17 features can use; 6–12 realises the same trees).
+PAPER_GRIDS = {
+    "xgboost": {
+        "n_estimators": [50, 100, 200],
+        "max_depth": [4, 6, 10],
+        "learning_rate": [0.1, 0.01],
+    },
+    "svm": {
+        # Applied to the final pipeline step via tuned_selector.
+        "C": [100.0, 1000.0, 10000.0],
+        "gamma": [0.1, 0.01, 0.001],
+    },
+}
+
+
+class FormatSelector:
+    """Best-format classifier over a fixed feature set.
+
+    Parameters
+    ----------
+    model:
+        A :data:`MODEL_REGISTRY` key or a ready estimator instance.
+    feature_set:
+        One of ``"set1"``, ``"set12"``, ``"set123"``, ``"imp"`` or an
+        explicit feature-name sequence (paper Tables IV–X sweep these).
+    **model_kwargs:
+        Overrides forwarded to the registry factory.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, BaseEstimator] = "xgboost",
+        *,
+        feature_set: Union[str, Sequence[str]] = "set123",
+        **model_kwargs,
+    ) -> None:
+        if isinstance(model, str):
+            try:
+                self.estimator = MODEL_REGISTRY[model](**model_kwargs)
+            except KeyError:
+                raise ValueError(
+                    f"unknown model {model!r}; expected one of {sorted(MODEL_REGISTRY)}"
+                ) from None
+            self.model_name = model
+        else:
+            self.estimator = model
+            self.model_name = type(model).__name__
+        if isinstance(feature_set, str) and feature_set not in FEATURE_SETS:
+            raise ValueError(
+                f"unknown feature set {feature_set!r}; expected {sorted(FEATURE_SETS)}"
+            )
+        self.feature_set = feature_set
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(
+        self,
+        data: Union[SpMVDataset, np.ndarray],
+        y: Optional[np.ndarray] = None,
+    ) -> "FormatSelector":
+        """Fit on a dataset (uses its labels) or a raw (X, y) pair."""
+        if isinstance(data, SpMVDataset):
+            self.formats_ = data.formats
+            X = data.X(self.feature_set)
+            y = data.labels
+        else:
+            if y is None:
+                raise ValueError("y is required when fitting on a raw array")
+            self.formats_ = None
+            X = np.asarray(data)
+        self.estimator.fit(X, np.asarray(y))
+        return self
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
+        """Predict best-format *indices*."""
+        X = data.X(self.feature_set) if isinstance(data, SpMVDataset) else np.asarray(data)
+        return self.estimator.predict(X)
+
+    def predict_formats(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
+        """Predict best-format *names* (requires dataset-fitted selector)."""
+        if self.formats_ is None:
+            raise RuntimeError("selector was fitted on raw arrays; format names unknown")
+        return np.array(self.formats_)[self.predict(data)]
+
+    def score(self, data: Union[SpMVDataset, np.ndarray], y: Optional[np.ndarray] = None) -> float:
+        """Classification accuracy on a dataset or (X, y) pair."""
+        if isinstance(data, SpMVDataset):
+            y = data.labels
+        if y is None:
+            raise ValueError("y is required when scoring on a raw array")
+        return accuracy_score(np.asarray(y), self.predict(data))
+
+
+def tuned_selector(
+    model: str,
+    train: SpMVDataset,
+    *,
+    feature_set: Union[str, Sequence[str]] = "set123",
+    cv: int = 5,
+    seed: int = 0,
+    grid: Optional[Dict] = None,
+) -> FormatSelector:
+    """GridSearchCV-tuned selector, reproducing the paper's Sec. IV-D sweep.
+
+    For pipeline models the grid applies to the final step's
+    hyper-parameters.  Models without a paper grid fall back to their
+    registry defaults.
+    """
+    selector = FormatSelector(model, feature_set=feature_set)
+    grid = grid if grid is not None else PAPER_GRIDS.get(model)
+    if not grid:
+        return selector.fit(train)
+
+    X, y = train.X(feature_set), train.labels
+    base = selector.estimator
+    if isinstance(base, Pipeline):
+        # Re-wrap: search over the final estimator inside a fresh pipeline.
+        final = base.steps[-1][1]
+
+        class _PipelineFactory(Pipeline):
+            pass
+
+        best_score, best_params = -np.inf, None
+        import itertools
+
+        names = list(grid)
+        from ..ml.model_selection import cross_val_score
+
+        for combo in itertools.product(*(grid[n] for n in names)):
+            params = dict(zip(names, combo))
+            candidate = _scaled(clone(final).set_params(**params))
+            scores = cross_val_score(candidate, X, y, cv=cv, seed=seed)
+            if scores.mean() > best_score:
+                best_score, best_params = scores.mean(), params
+        selector.estimator = _scaled(clone(final).set_params(**best_params))
+        selector.tuned_params_ = best_params
+    else:
+        gs = GridSearchCV(base, grid, cv=cv, seed=seed)
+        gs.fit(X, y)
+        selector.estimator = gs.best_estimator_
+        selector.tuned_params_ = gs.best_params_
+    selector.formats_ = train.formats
+    # Final refit on the full training data happens inside fit(); GridSearchCV
+    # already refits non-pipeline models, but fit() keeps behaviour uniform.
+    selector.fit(train)
+    return selector

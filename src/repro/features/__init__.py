@@ -1,0 +1,28 @@
+"""Structural feature extraction (paper Sec. IV, Table II)."""
+
+from .extract import (  # noqa: F401
+    ALL_FEATURES,
+    FEATURE_SET_1,
+    FEATURE_SET_2,
+    FEATURE_SET_3,
+    FEATURE_SETS,
+    IMP_FEATURES,
+    extract_features,
+    feature_matrix,
+    feature_vector,
+)
+from .image import density_image, image_dataset  # noqa: F401
+
+__all__ = [
+    "FEATURE_SET_1",
+    "FEATURE_SET_2",
+    "FEATURE_SET_3",
+    "ALL_FEATURES",
+    "FEATURE_SETS",
+    "IMP_FEATURES",
+    "extract_features",
+    "feature_vector",
+    "feature_matrix",
+    "density_image",
+    "image_dataset",
+]

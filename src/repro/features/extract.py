@@ -1,0 +1,182 @@
+"""The paper's 17 sparse-matrix features (Sec. IV, Table II).
+
+Three nested feature sets:
+
+* **Set 1** (O(1) given the CSR arrays): ``n_rows``, ``n_cols``,
+  ``nnz_tot``, ``nnz_mu`` (mean nnz/row), ``nnz_frac`` (density %).
+* **Set 2** (one O(nnz) scan): ``nnz_max``, ``nnz_sigma`` plus the mean
+  and standard deviation of the *contiguous non-zero chunk* statistics —
+  chunks per row (``nnzb_mu``, ``nnzb_sigma``) and chunk size
+  (``snzb_mu``, ``snzb_sigma``).
+* **Set 3** (same scan): ``nnz_min``, the total chunk count
+  (``nnzb_tot``) and the min/max of chunks-per-row (``nnzb_min``,
+  ``nnzb_max``) and chunk size (``snzb_min``, ``snzb_max``).
+
+A *chunk* (the paper also says "block") is a maximal run of
+consecutive column indices within one row — the unit that determines
+how many cache lines the ``x``-gather touches, which is why the paper
+introduces set 3 (and why ``nnzb_tot`` lands in the top-7 important
+features).
+
+Naming follows the paper's feature-importance figures (Figs. 4–5)
+exactly, so reproduced importance plots are directly comparable.
+
+The 7 "imp." features are the paper's Sec. V-D finding: the top-7 by
+XGBoost F-score, consistent across both GPUs and precisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from ..formats import CSRMatrix, SparseFormat
+
+__all__ = [
+    "FEATURE_SET_1",
+    "FEATURE_SET_2",
+    "FEATURE_SET_3",
+    "ALL_FEATURES",
+    "FEATURE_SETS",
+    "IMP_FEATURES",
+    "extract_features",
+    "feature_vector",
+    "feature_matrix",
+]
+
+#: Set 1 — O(1) features (paper Table II, rows marked "1").
+FEATURE_SET_1: tuple = ("n_rows", "n_cols", "nnz_tot", "nnz_mu", "nnz_frac")
+
+#: Set 2 — per-row and chunk moments (Table II rows marked "2").
+FEATURE_SET_2: tuple = (
+    "nnz_max",
+    "nnz_sigma",
+    "nnzb_mu",
+    "nnzb_sigma",
+    "snzb_mu",
+    "snzb_sigma",
+)
+
+#: Set 3 — extremes and the global chunk count (Table II rows marked "3").
+FEATURE_SET_3: tuple = (
+    "nnz_min",
+    "nnzb_tot",
+    "nnzb_min",
+    "nnzb_max",
+    "snzb_min",
+    "snzb_max",
+)
+
+#: All 17 features in canonical order.
+ALL_FEATURES: tuple = FEATURE_SET_1 + FEATURE_SET_2 + FEATURE_SET_3
+
+#: The paper's evaluation slices: cumulative sets plus the top-7
+#: "imp." subset of Sec. V-D.
+IMP_FEATURES: tuple = (
+    "n_rows",
+    "nnz_max",
+    "nnz_tot",
+    "nnz_sigma",
+    "nnz_frac",
+    "nnzb_tot",
+    "nnz_mu",
+)
+
+FEATURE_SETS: Dict[str, tuple] = {
+    "set1": FEATURE_SET_1,
+    "set12": FEATURE_SET_1 + FEATURE_SET_2,
+    "set123": ALL_FEATURES,
+    "imp": IMP_FEATURES,
+}
+
+
+def extract_features(matrix: Union[SparseFormat, CSRMatrix]) -> Dict[str, float]:
+    """Extract all 17 features from a matrix in one O(nnz) pass.
+
+    Parameters
+    ----------
+    matrix:
+        Any sparse format; converted to CSR if needed (CSR input is
+        used as-is, zero copies).
+
+    Returns
+    -------
+    dict
+        Feature name → value for every name in :data:`ALL_FEATURES`.
+        Empty matrices yield all-zero chunk statistics.
+    """
+    csr = matrix if isinstance(matrix, CSRMatrix) else CSRMatrix.from_coo(matrix.to_coo())
+    n_rows, n_cols = csr.shape
+    nnz = csr.nnz
+    lengths = np.diff(csr.indptr)
+
+    feats: Dict[str, float] = {
+        "n_rows": float(n_rows),
+        "n_cols": float(n_cols),
+        "nnz_tot": float(nnz),
+        "nnz_mu": float(lengths.mean()) if n_rows else 0.0,
+        # Table I reports density in percent; we keep the same unit.
+        "nnz_frac": 100.0 * nnz / (n_rows * n_cols) if n_rows and n_cols else 0.0,
+        "nnz_max": float(lengths.max()) if n_rows else 0.0,
+        "nnz_min": float(lengths.min()) if n_rows else 0.0,
+        "nnz_sigma": float(lengths.std()) if n_rows else 0.0,
+    }
+
+    if nnz == 0:
+        feats.update(
+            nnzb_mu=0.0, nnzb_sigma=0.0, nnzb_min=0.0, nnzb_max=0.0,
+            nnzb_tot=0.0, snzb_mu=0.0, snzb_sigma=0.0, snzb_min=0.0,
+            snzb_max=0.0,
+        )
+        return feats
+
+    # --- contiguous chunk analysis (one vectorised scan) ---------------
+    # A chunk starts where a row starts or where the column index jumps
+    # by more than one.  Canonical CSR guarantees sorted columns per row.
+    col = csr.indices.astype(np.int64)
+    chunk_start = np.empty(nnz, dtype=bool)
+    chunk_start[0] = True
+    np.not_equal(col[1:], col[:-1] + 1, out=chunk_start[1:])
+    row_starts = csr.indptr[:-1][lengths > 0]
+    chunk_start[row_starts] = True
+
+    start_pos = np.flatnonzero(chunk_start)
+    n_chunks = start_pos.size
+    chunk_sizes = np.diff(np.append(start_pos, nnz))
+
+    # Chunks per row: count chunk starts within each row slice.
+    counts = np.zeros(n_rows, dtype=np.int64)
+    if n_rows:
+        owner = np.searchsorted(csr.indptr, start_pos, side="right") - 1
+        np.add.at(counts, owner, 1)
+
+    feats.update(
+        nnzb_tot=float(n_chunks),
+        nnzb_mu=float(counts.mean()) if n_rows else 0.0,
+        nnzb_sigma=float(counts.std()) if n_rows else 0.0,
+        nnzb_min=float(counts.min()) if n_rows else 0.0,
+        nnzb_max=float(counts.max()) if n_rows else 0.0,
+        snzb_mu=float(chunk_sizes.mean()),
+        snzb_sigma=float(chunk_sizes.std()),
+        snzb_min=float(chunk_sizes.min()),
+        snzb_max=float(chunk_sizes.max()),
+    )
+    return feats
+
+
+def feature_vector(
+    features: Dict[str, float], names: Sequence[str] = ALL_FEATURES
+) -> np.ndarray:
+    """Order a feature dict into a 1-D array following ``names``."""
+    return np.array([features[n] for n in names], dtype=np.float64)
+
+
+def feature_matrix(
+    feature_dicts: Iterable[Dict[str, float]], names: Sequence[str] = ALL_FEATURES
+) -> np.ndarray:
+    """Stack many feature dicts into an ``(n_samples, n_features)`` array."""
+    rows: List[np.ndarray] = [feature_vector(d, names) for d in feature_dicts]
+    if not rows:
+        return np.zeros((0, len(tuple(names))))
+    return np.vstack(rows)

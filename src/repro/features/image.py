@@ -1,0 +1,52 @@
+"""Fixed-size image representation of sparse matrices (Zhao et al.).
+
+The CNN-based selector the paper compares against (related work,
+Sec. VII) feeds the network a fixed-size "image" of the sparsity
+pattern: the matrix is divided into a ``size × size`` grid of cells and
+each pixel encodes how many non-zeros fall into its cell.  This module
+produces that representation (log-compressed and max-normalised so
+images of matrices spanning six nnz decades live on a common scale),
+for use with :class:`repro.ml.cnn.SimpleCNNClassifier`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import SparseFormat
+
+__all__ = ["density_image", "image_dataset"]
+
+
+def density_image(matrix: SparseFormat, size: int = 32) -> np.ndarray:
+    """Render the sparsity pattern as a ``size × size`` float image.
+
+    Pixel ``(i, j)`` is ``log1p(count)`` of the non-zeros mapped into
+    grid cell ``(i, j)``, normalised to ``[0, 1]`` by the densest cell.
+    Empty matrices give an all-zero image.
+
+    The mapping uses integer arithmetic (``row * size // n_rows``) so a
+    cell boundary never splits due to float rounding.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    coo = matrix.to_coo()
+    img = np.zeros((size, size), dtype=np.float64)
+    if coo.nnz == 0:
+        return img
+    pi = (coo.row.astype(np.int64) * size) // max(coo.n_rows, 1)
+    pj = (coo.col.astype(np.int64) * size) // max(coo.n_cols, 1)
+    np.add.at(img, (np.minimum(pi, size - 1), np.minimum(pj, size - 1)), 1.0)
+    np.log1p(img, out=img)
+    peak = img.max()
+    if peak > 0:
+        img /= peak
+    return img
+
+
+def image_dataset(matrices, size: int = 32) -> np.ndarray:
+    """Stack density images of many matrices: ``(n, size, size)``."""
+    images = [density_image(m, size) for m in matrices]
+    if not images:
+        return np.zeros((0, size, size))
+    return np.stack(images)

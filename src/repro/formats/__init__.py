@@ -1,0 +1,71 @@
+"""Sparse-matrix storage formats (paper Sec. II-A).
+
+Six GPU storage formats implemented from scratch on numpy arrays:
+
+============  =======================================  ====================
+name          class                                    paper section
+============  =======================================  ====================
+``coo``       :class:`~repro.formats.coo.COOMatrix`        II-A.1
+``csr``       :class:`~repro.formats.csr.CSRMatrix`        II-A.2
+``ell``       :class:`~repro.formats.ell.ELLMatrix`        II-A.3
+``hyb``       :class:`~repro.formats.hyb.HYBMatrix`        II-A.4
+``csr5``      :class:`~repro.formats.csr5.CSR5Matrix`      II-A.5
+``merge_csr`` :class:`~repro.formats.merge_csr.MergeCSRMatrix`  II-A.6
+============  =======================================  ====================
+
+Every class carries a functional ``spmv`` kernel mirroring the GPU
+decomposition, conversion through canonical COO, and device-memory
+accounting consumed by :mod:`repro.gpu`.
+"""
+
+from .base import (  # noqa: F401
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    PRECISION_DTYPES,
+    FormatError,
+    SparseFormat,
+)
+from .bsr import BSRMatrix  # noqa: F401
+from .convert import (  # noqa: F401
+    ADVANCED_FORMATS,
+    BASIC_FORMATS,
+    EXTENSION_FORMATS,
+    FORMAT_NAMES,
+    FORMATS,
+    as_format,
+)
+from .coo import COOMatrix  # noqa: F401
+from .dia import DIAMatrix  # noqa: F401
+from .csr import CSRMatrix  # noqa: F401
+from .csr5 import CSR5Matrix, DEFAULT_OMEGA, DEFAULT_SIGMA  # noqa: F401
+from .ell import ELLMatrix, PAD_COL  # noqa: F401
+from .hyb import HYBMatrix, histogram_threshold, mu_threshold  # noqa: F401
+from .merge_csr import MergeCSRMatrix, merge_path_search  # noqa: F401
+
+__all__ = [
+    "SparseFormat",
+    "FormatError",
+    "INDEX_BYTES",
+    "INDEX_DTYPE",
+    "PRECISION_DTYPES",
+    "COOMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "CSR5Matrix",
+    "MergeCSRMatrix",
+    "FORMATS",
+    "FORMAT_NAMES",
+    "BASIC_FORMATS",
+    "ADVANCED_FORMATS",
+    "EXTENSION_FORMATS",
+    "DIAMatrix",
+    "BSRMatrix",
+    "as_format",
+    "mu_threshold",
+    "histogram_threshold",
+    "merge_path_search",
+    "PAD_COL",
+    "DEFAULT_OMEGA",
+    "DEFAULT_SIGMA",
+]

@@ -1,0 +1,194 @@
+"""BSR (block compressed sparse row) — extension format.
+
+BSR is CSR over dense ``r × c`` blocks: one column index per *block*
+instead of per element, and contiguous dense blocks that SpMV can
+process with coalesced loads and register-blocked arithmetic.  Zhao et
+al. (the CNN-based selector the paper compares against) include BSR in
+their GPU format set, which is why it joins the extended study here.
+
+BSR shines on FEM-like matrices whose non-zeros naturally cluster into
+small dense blocks; on unstructured matrices the zero-fill inside
+blocks wastes bandwidth exactly like ELL padding does.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    FormatError,
+    SparseFormat,
+    _freeze,
+    check_shape,
+    check_vector,
+)
+from .coo import COOMatrix
+
+__all__ = ["BSRMatrix"]
+
+
+class BSRMatrix(SparseFormat):
+    """Block-CSR matrix with fixed ``block_shape`` dense blocks.
+
+    Parameters
+    ----------
+    shape:
+        Logical ``(rows, cols)`` — need not be block-aligned; trailing
+        partial blocks are zero-filled.
+    indptr:
+        Block-row pointer, length ``n_block_rows + 1``.
+    indices:
+        Block column indices per stored block.
+    blocks:
+        ``(n_blocks, r, c)`` dense block values.
+    block_shape:
+        ``(r, c)`` block dimensions.
+    """
+
+    name = "bsr"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        blocks: np.ndarray,
+        block_shape: Tuple[int, int] = (4, 4),
+    ) -> None:
+        self.shape = check_shape(shape)
+        r, c = map(int, block_shape)
+        if r <= 0 or c <= 0:
+            raise FormatError("block dimensions must be positive")
+        self.block_shape = (r, c)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        blocks = np.asarray(blocks)
+        if blocks.dtype not in (np.float32, np.float64):
+            blocks = blocks.astype(np.float64)
+        n_brows = -(-self.shape[0] // r)
+        n_bcols = -(-self.shape[1] // c)
+        if indptr.size != n_brows + 1:
+            raise FormatError(f"indptr must have length {n_brows + 1}")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise FormatError("indptr must start at 0 and end at n_blocks")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if blocks.shape != (indices.size, r, c):
+            raise FormatError(
+                f"blocks must be (n_blocks, {r}, {c}), got {blocks.shape}"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= n_bcols):
+            raise FormatError("block column index out of bounds")
+        self.indptr = _freeze(indptr)
+        self.indices = _freeze(indices)
+        self.blocks = _freeze(blocks)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, *, block_shape: Tuple[int, int] = (4, 4)
+    ) -> "BSRMatrix":
+        r, c = map(int, block_shape)
+        if r <= 0 or c <= 0:
+            raise FormatError("block dimensions must be positive")
+        n_brows = -(-coo.n_rows // r)
+        n_bcols = -(-coo.n_cols // c)
+        if coo.nnz == 0:
+            return cls(
+                coo.shape,
+                np.zeros(n_brows + 1, np.int64),
+                np.zeros(0, INDEX_DTYPE),
+                np.zeros((0, r, c), dtype=coo.dtype),
+                (r, c),
+            )
+        brow = coo.row.astype(np.int64) // r
+        bcol = coo.col.astype(np.int64) // c
+        key = brow * n_bcols + bcol
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], key_sorted[1:] != key_sorted[:-1]))
+        )
+        block_keys = key_sorted[starts]
+        n_blocks = block_keys.size
+        block_of_entry = np.searchsorted(block_keys, key)
+        blocks = np.zeros((n_blocks, r, c), dtype=coo.dtype)
+        blocks[
+            block_of_entry,
+            coo.row.astype(np.int64) % r,
+            coo.col.astype(np.int64) % c,
+        ] = coo.val
+        b_rows = (block_keys // n_bcols).astype(np.int64)
+        indices = (block_keys % n_bcols).astype(INDEX_DTYPE)
+        counts = np.bincount(b_rows, minlength=n_brows)
+        indptr = np.zeros(n_brows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(coo.shape, indptr, indices, blocks, (r, c))
+
+    def to_coo(self) -> COOMatrix:
+        r, c = self.block_shape
+        if self.n_blocks == 0:
+            return COOMatrix.empty(self.shape, dtype=self.dtype)
+        brow = np.repeat(
+            np.arange(self.indptr.size - 1, dtype=np.int64), np.diff(self.indptr)
+        )
+        bi, ri, ci = np.nonzero(self.blocks)
+        rows = brow[bi] * r + ri
+        cols = self.indices.astype(np.int64)[bi] * c + ci
+        keep = (rows < self.n_rows) & (cols < self.n_cols)
+        return COOMatrix(self.shape, rows[keep], cols[keep], self.blocks[bi, ri, ci][keep])
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of stored (possibly partially filled) blocks."""
+        return int(self.indices.size)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.blocks))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.blocks.dtype
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored slots per structural non-zero (block zero-fill, >= 1)."""
+        nnz = self.nnz
+        return self.blocks.size / nnz if nnz else 1.0
+
+    def memory_bytes(self) -> int:
+        """Dense blocks + one column index per block + block-row pointer."""
+        r, c = self.block_shape
+        return (
+            self.blocks.size * self.dtype.itemsize
+            + self.n_blocks * INDEX_BYTES
+            + self.indptr.size * INDEX_BYTES
+        )
+
+    # -- behaviour ------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Block-row SpMV: dense (r x c) @ (c,) products, then row sums."""
+        x = check_vector(x, self.n_cols, self.dtype)
+        r, c = self.block_shape
+        n_brows = self.indptr.size - 1
+        pad_cols = n_brows and (-self.n_cols) % c
+        x_pad = np.concatenate([x, np.zeros((-self.n_cols) % c, dtype=self.dtype)])
+        y_pad = np.zeros(n_brows * r, dtype=self.dtype)
+        if self.n_blocks:
+            # Gather each block's x-slice, batched matvec over all blocks.
+            xs = x_pad.reshape(-1, c)[self.indices]          # (n_blocks, c)
+            prod = np.einsum("brc,bc->br", self.blocks, xs)  # (n_blocks, r)
+            brow = np.repeat(
+                np.arange(n_brows, dtype=np.int64), np.diff(self.indptr)
+            )
+            np.add.at(y_pad.reshape(-1, r), brow, prod)
+        return y_pad[: self.n_rows]

@@ -1,0 +1,93 @@
+"""Cross-format conversion hub.
+
+All formats convert through canonical COO, so conversion between any
+pair is two hops at most.  :func:`as_format` is the single entry point
+used by the executor, the labeler and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, Union
+
+from .base import SparseFormat
+from .bsr import BSRMatrix
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .csr5 import CSR5Matrix
+from .dia import DIAMatrix
+from .ell import ELLMatrix
+from .hyb import HYBMatrix
+from .merge_csr import MergeCSRMatrix
+
+__all__ = [
+    "FORMATS",
+    "FORMAT_NAMES",
+    "BASIC_FORMATS",
+    "ADVANCED_FORMATS",
+    "EXTENSION_FORMATS",
+    "as_format",
+]
+
+#: Registry of all concrete formats, keyed by canonical name.
+FORMATS: Dict[str, Type[SparseFormat]] = {
+    cls.name: cls
+    for cls in (
+        COOMatrix,
+        CSRMatrix,
+        ELLMatrix,
+        HYBMatrix,
+        CSR5Matrix,
+        MergeCSRMatrix,
+        DIAMatrix,
+        BSRMatrix,
+    )
+}
+
+#: Canonical ordering of the six formats, as listed in the paper.
+FORMAT_NAMES = ("coo", "ell", "csr", "hyb", "csr5", "merge_csr")
+
+#: Extra formats beyond the paper's study (DIA from Bell & Garland, BSR
+#: from the Zhao et al. comparison), used by the extended-study bench.
+EXTENSION_FORMATS = ("dia", "bsr")
+
+#: The paper's "basic" study subset (Tables IV–VI).
+BASIC_FORMATS = ("ell", "csr", "hyb")
+
+#: The advanced formats added for Tables VII–XIV.
+ADVANCED_FORMATS = ("csr5", "merge_csr")
+
+
+def as_format(
+    matrix: Union[SparseFormat, COOMatrix], name: str, **kwargs
+) -> SparseFormat:
+    """Convert ``matrix`` to the format called ``name``.
+
+    Parameters
+    ----------
+    matrix:
+        Any :class:`~repro.formats.base.SparseFormat` instance.
+    name:
+        One of :data:`FORMAT_NAMES`.
+    **kwargs:
+        Format-specific construction options (e.g. ``threshold`` for
+        HYB, ``omega``/``sigma`` for CSR5, ``partitions`` for merge
+        CSR, ``max_padding_ratio`` for ELL).
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a registered format.
+    repro.formats.base.FormatError
+        If the conversion is structurally infeasible (e.g. ELL padding
+        guard tripped).
+    """
+    try:
+        target = FORMATS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; expected one of {sorted(FORMATS)}"
+        ) from None
+    if isinstance(matrix, target) and not kwargs:
+        return matrix
+    coo = matrix.to_coo()
+    return target.from_coo(coo, **kwargs)

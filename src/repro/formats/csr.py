@@ -1,0 +1,148 @@
+"""CSR (compressed sparse row) format.
+
+CSR compresses COO's row-index array into a row-pointer array of length
+``n_rows + 1`` whose consecutive differences give each row's population
+(paper Sec. II-A.2, Fig. 1(b)).  It is the most widely used sparse
+format and the baseline for the advanced formats (CSR5 and merge-based
+CSR reuse its arrays).
+
+Two GPU parallelisations exist and both are modelled by the simulator:
+
+* *scalar CSR* — one thread per row; uncoalesced column/value access,
+  divergence when row lengths vary;
+* *vector CSR* — one warp per row; coalesced access but wasted lanes on
+  short rows.
+
+``spmv`` here computes the exact product with a row-segmented reduction
+(`np.add.reduceat`), matching either decomposition functionally.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    FormatError,
+    SparseFormat,
+    _freeze,
+    check_shape,
+    check_vector,
+)
+from .coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix(SparseFormat):
+    """Compressed-sparse-row matrix.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)``.
+    indptr:
+        Row-pointer array of length ``rows + 1``; ``indptr[i]:indptr[i+1]``
+        delimits row ``i``'s slice of ``indices``/``data``.
+    indices:
+        Column indices, length ``nnz``; must be sorted within each row.
+    data:
+        Non-zero values, length ``nnz``.
+    """
+
+    name = "csr"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = check_shape(shape)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        data = np.asarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            data = data.astype(np.float64)
+        if indptr.ndim != 1 or indptr.size != self.shape[0] + 1:
+            raise FormatError(
+                f"indptr must have length rows+1 = {self.shape[0] + 1}, got {indptr.size}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indices.size != data.size:
+            raise FormatError("indices and data must have equal length")
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.shape[1]
+        ):
+            raise FormatError("column index out of bounds")
+        self.indptr = _freeze(indptr)
+        self.indices = _freeze(indices)
+        self.data = _freeze(data)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Compress a canonical COO matrix; O(nnz + rows)."""
+        counts = np.bincount(coo.row, minlength=coo.n_rows)
+        indptr = np.zeros(coo.n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Canonical COO is already row-major sorted, so indices/data are
+        # shared without copying.
+        return cls(coo.shape, indptr, coo.col, coo.val)
+
+    def to_coo(self) -> COOMatrix:
+        row = np.repeat(
+            np.arange(self.n_rows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, row, self.indices, self.data, canonical=False)
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def row_lengths(self) -> np.ndarray:
+        """Entries per row, length ``n_rows``."""
+        return np.diff(self.indptr)
+
+    def memory_bytes(self) -> int:
+        """Values + column indices + the (rows+1) row-pointer array."""
+        return (
+            self.nnz * (INDEX_BYTES + self.dtype.itemsize)
+            + (self.n_rows + 1) * INDEX_BYTES
+        )
+
+    # -- behaviour ------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Row-wise SpMV: per-row dot products via a segmented reduction."""
+        x = check_vector(x, self.n_cols, self.dtype)
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        if self.nnz == 0:
+            return y
+        products = self.data * x[self.indices]
+        starts = self.indptr[:-1]
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if nonempty.size:
+            # reduceat needs strictly valid segment starts; empty rows are
+            # skipped and left at zero.
+            y[nonempty] = np.add.reduceat(products, starts[nonempty])
+        return y
+
+    def row_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i`` — zero-copy views."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]

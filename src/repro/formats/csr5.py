@@ -1,0 +1,235 @@
+"""CSR5 format (Liu & Vinter, ICS 2015).
+
+CSR5 augments CSR with two tile-level metadata arrays so that SpMV can
+be load-balanced at non-zero granularity (paper Sec. II-A.5,
+Fig. 1(d)).  The non-zeros are partitioned into 2-D tiles of
+``omega × sigma`` elements (``omega`` SIMD lanes, ``sigma`` steps per
+lane); within a tile the values and column indices are stored
+*transposed* (lane-major) so a warp's loads coalesce, and per-tile
+descriptors record where rows start and stop inside the tile:
+
+* ``tile_ptr``  — the row index of the first element of every tile,
+* ``tile_desc`` — per-tile ``y_offset`` / ``seg_offset`` words plus a
+  ``bit_flag`` marking row boundaries within the tile (stored here as a
+  packed bit array, exactly the footprint the real format pays).
+
+Because work is partitioned over non-zeros, performance is largely
+insensitive to the row-length distribution — the property the paper's
+classifier has to weigh against the format's tile bookkeeping overhead
+on small matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    FormatError,
+    SparseFormat,
+    _freeze,
+    check_shape,
+    check_vector,
+)
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["CSR5Matrix", "DEFAULT_OMEGA", "DEFAULT_SIGMA"]
+
+#: Default tile width (SIMD lanes).  32 matches an NVIDIA warp.
+DEFAULT_OMEGA = 32
+#: Default tile depth (elements per lane), the value CSR5 auto-tunes to
+#: on Kepler/Pascal-class parts.
+DEFAULT_SIGMA = 16
+
+
+class CSR5Matrix(SparseFormat):
+    """CSR5 matrix: CSR arrays + transposed tiles + tile descriptors.
+
+    Construction partitions the CSR non-zero stream into
+    ``omega * sigma``-element tiles, transposes each full tile in
+    storage, and derives the descriptor metadata.  The trailing partial
+    tile (if any) stays in row-major order, as in the reference
+    implementation.
+    """
+
+    name = "csr5"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        tile_col: np.ndarray,
+        tile_val: np.ndarray,
+        perm: np.ndarray,
+        tile_ptr: np.ndarray,
+        bit_flag: np.ndarray,
+        y_offset: np.ndarray,
+        omega: int,
+        sigma: int,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.indptr = _freeze(np.asarray(indptr, dtype=np.int64))
+        self.tile_col = _freeze(np.asarray(tile_col, dtype=INDEX_DTYPE))
+        tile_val = np.asarray(tile_val)
+        if tile_val.dtype not in (np.float32, np.float64):
+            tile_val = tile_val.astype(np.float64)
+        self.tile_val = _freeze(tile_val)
+        self.perm = _freeze(np.asarray(perm, dtype=np.int64))
+        self.tile_ptr = _freeze(np.asarray(tile_ptr, dtype=np.int64))
+        self.bit_flag = _freeze(np.asarray(bit_flag, dtype=np.uint8))
+        self.y_offset = _freeze(np.asarray(y_offset, dtype=np.int64))
+        if omega <= 0 or sigma <= 0:
+            raise FormatError("omega and sigma must be positive")
+        self.omega = int(omega)
+        self.sigma = int(sigma)
+        if self.tile_col.shape != self.tile_val.shape or self.tile_col.ndim != 1:
+            raise FormatError("tile_col and tile_val must be equal-length 1-D arrays")
+        if self.perm.shape != self.tile_col.shape:
+            raise FormatError("perm must map every stored element")
+        if self.indptr.size != self.shape[0] + 1:
+            raise FormatError("indptr must have length rows+1")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        *,
+        omega: int = DEFAULT_OMEGA,
+        sigma: int = DEFAULT_SIGMA,
+    ) -> "CSR5Matrix":
+        csr = CSRMatrix.from_coo(coo)
+        return cls.from_csr(csr, omega=omega, sigma=sigma)
+
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CSRMatrix,
+        *,
+        omega: int = DEFAULT_OMEGA,
+        sigma: int = DEFAULT_SIGMA,
+    ) -> "CSR5Matrix":
+        """Tile and transpose a CSR matrix into CSR5 storage."""
+        if omega <= 0 or sigma <= 0:
+            raise FormatError("omega and sigma must be positive")
+        nnz = csr.nnz
+        tile_elems = omega * sigma
+        n_full = nnz // tile_elems
+
+        # perm[i] = CSR position of storage slot i.  Full tiles are
+        # transposed: within tile t, storage slot (lane, step) holds CSR
+        # element t*tile_elems + step*omega... no — lane-major storage of a
+        # row-major stream means slot (step, lane) <- csr[t*E + lane*sigma
+        # + step].  The reference lays each lane's sigma elements down a
+        # column; transposing the (omega, sigma) block yields that order.
+        perm = np.arange(nnz, dtype=np.int64)
+        if n_full:
+            body = perm[: n_full * tile_elems].reshape(n_full, omega, sigma)
+            perm = np.concatenate(
+                [body.transpose(0, 2, 1).reshape(-1), perm[n_full * tile_elems :]]
+            )
+
+        tile_col = csr.indices[perm]
+        tile_val = csr.data[perm]
+
+        n_tiles = (nnz + tile_elems - 1) // tile_elems
+        # tile_ptr[t]: row containing the first CSR element of tile t.
+        first_elem = np.arange(n_tiles, dtype=np.int64) * tile_elems
+        tile_ptr = np.searchsorted(csr.indptr[1:], first_elem, side="right")
+        tile_ptr = np.concatenate([tile_ptr, [csr.n_rows]]).astype(np.int64)
+
+        # bit_flag: one bit per stored element (packed), set where a CSR
+        # row starts.  Derived in CSR order then permuted to storage order.
+        row_start_csr = np.zeros(nnz, dtype=bool)
+        starts = csr.indptr[:-1][np.diff(csr.indptr) > 0]
+        row_start_csr[starts] = True
+        bit_flag = np.packbits(row_start_csr[perm]) if nnz else np.zeros(0, np.uint8)
+
+        # y_offset[t]: rows completed before tile t within tile_ptr[t]'s
+        # span — the partial-sum slot each tile writes first.  For the
+        # functional kernel we store the count of row starts preceding the
+        # tile, which plays the same role.
+        starts_cum = np.concatenate([[0], np.cumsum(row_start_csr)])
+        y_offset = starts_cum[np.minimum(first_elem, nnz)] if nnz else np.zeros(0, np.int64)
+
+        return cls(
+            csr.shape,
+            csr.indptr,
+            tile_col,
+            tile_val,
+            perm,
+            tile_ptr,
+            bit_flag,
+            y_offset.astype(np.int64),
+            omega,
+            sigma,
+        )
+
+    def to_coo(self) -> COOMatrix:
+        inv = np.empty_like(self.perm)
+        inv[self.perm] = np.arange(self.perm.size)
+        indices = self.tile_col[inv]
+        data = self.tile_val[inv]
+        row = np.repeat(
+            np.arange(self.n_rows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, row, indices, data, canonical=False)
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.tile_val.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.tile_val.dtype
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of ``omega × sigma`` tiles (incl. the partial tail)."""
+        return max(0, int(self.tile_ptr.size) - 1)
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def memory_bytes(self) -> int:
+        """CSR footprint + tile_ptr + descriptors (bit_flag, offsets)."""
+        csr_bytes = (
+            self.nnz * (INDEX_BYTES + self.dtype.itemsize)
+            + (self.n_rows + 1) * INDEX_BYTES
+        )
+        desc_bytes = self.bit_flag.size + 2 * self.y_offset.size * INDEX_BYTES
+        return csr_bytes + self.tile_ptr.size * INDEX_BYTES + desc_bytes
+
+    # -- behaviour ------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Tile-parallel SpMV with per-tile segmented sums.
+
+        Each tile forms its products from the transposed storage, reduces
+        the segments marked in ``bit_flag`` and emits partial sums; row
+        fragments crossing tile boundaries are combined in the CSR-order
+        reduction, which is the numpy rendering of CSR5's cross-tile
+        "calibration" step.
+        """
+        x = check_vector(x, self.n_cols, self.dtype)
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        nnz = self.nnz
+        if nnz == 0:
+            return y
+        products_storage = self.tile_val * x[self.tile_col]
+        # Undo the tile transposition so segments are contiguous, then do
+        # one segmented reduction over row starts — mathematically the sum
+        # of all per-tile partials plus calibration.
+        products = np.empty_like(products_storage)
+        products[self.perm] = products_storage
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if nonempty.size:
+            y[nonempty] = np.add.reduceat(products, self.indptr[:-1][nonempty])
+        return y

@@ -1,0 +1,172 @@
+"""DIA (diagonal) format — extension beyond the paper's six formats.
+
+DIA stores the matrix as a dense ``n_diags × n_rows`` plane of values
+plus an offsets array, one entry per occupied diagonal (Bell & Garland;
+the format the paper's related work evaluates on CPUs, Zhao et al.).
+It is unbeatable for banded/stencil matrices — the x-gather is
+perfectly streaming — and catastrophic for anything unstructured, which
+makes it a sharp extra class for the extended format-selection study
+(see ``benchmarks/test_ablation_extended_formats.py``).
+
+Construction is guarded by ``max_fill_ratio`` because an unstructured
+matrix can occupy O(rows + cols) diagonals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    FormatError,
+    SparseFormat,
+    _freeze,
+    check_shape,
+    check_vector,
+)
+from .coo import COOMatrix
+
+__all__ = ["DIAMatrix"]
+
+
+class DIAMatrix(SparseFormat):
+    """Diagonal-format sparse matrix.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)``.
+    offsets:
+        Sorted 1-D array of occupied diagonal offsets
+        (``col - row``; 0 = main diagonal, positive = super-diagonals).
+    data:
+        ``(n_diags, rows)`` value plane; ``data[d, i]`` is the entry at
+        ``(i, i + offsets[d])`` (zero where that cell is off-matrix or
+        structurally zero).
+    """
+
+    name = "dia"
+
+    def __init__(
+        self, shape: Tuple[int, int], offsets: np.ndarray, data: np.ndarray
+    ) -> None:
+        self.shape = check_shape(shape)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        data = np.asarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            data = data.astype(np.float64)
+        if offsets.ndim != 1:
+            raise FormatError("offsets must be 1-D")
+        if np.any(np.diff(offsets) <= 0):
+            raise FormatError("offsets must be strictly increasing")
+        if offsets.size and (
+            offsets.min() <= -self.shape[0] or offsets.max() >= self.shape[1]
+        ):
+            raise FormatError("offset outside the matrix")
+        if data.shape != (offsets.size, self.shape[0]):
+            raise FormatError(
+                f"data must be (n_diags, rows) = {(offsets.size, self.shape[0])}, "
+                f"got {data.shape}"
+            )
+        # Cells outside the logical matrix must hold zero.
+        for d, off in enumerate(offsets):
+            cols = np.arange(self.shape[0], dtype=np.int64) + off
+            outside = (cols < 0) | (cols >= self.shape[1])
+            if data[d, outside].any():
+                raise FormatError(f"diagonal {off} stores values outside the matrix")
+        self.offsets = _freeze(offsets)
+        self.data = _freeze(data)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, *, max_fill_ratio: Optional[float] = None
+    ) -> "DIAMatrix":
+        """Pack a COO matrix into DIA.
+
+        Parameters
+        ----------
+        max_fill_ratio:
+            Reject matrices whose DIA plane would store more than this
+            many slots per non-zero (analogue of the ELL padding guard).
+        """
+        offs = np.unique(coo.col.astype(np.int64) - coo.row.astype(np.int64))
+        n_diags = int(offs.size)
+        if max_fill_ratio is not None and coo.nnz:
+            slots = n_diags * coo.n_rows
+            if slots > max_fill_ratio * coo.nnz:
+                raise FormatError(
+                    f"DIA fill ratio {slots / coo.nnz:.1f} exceeds limit "
+                    f"{max_fill_ratio:g}"
+                )
+        data = np.zeros((n_diags, coo.n_rows), dtype=coo.dtype)
+        if coo.nnz:
+            diag_idx = np.searchsorted(offs, coo.col.astype(np.int64) - coo.row)
+            data[diag_idx, coo.row] = coo.val
+        return cls(coo.shape, offs, data)
+
+    def to_coo(self) -> COOMatrix:
+        rows_idx = []
+        cols_idx = []
+        vals = []
+        rows = np.arange(self.n_rows, dtype=np.int64)
+        for d, off in enumerate(self.offsets):
+            cols = rows + off
+            live = (cols >= 0) & (cols < self.n_cols) & (self.data[d] != 0)
+            rows_idx.append(rows[live])
+            cols_idx.append(cols[live])
+            vals.append(self.data[d, live])
+        if rows_idx:
+            return COOMatrix(
+                self.shape,
+                np.concatenate(rows_idx),
+                np.concatenate(cols_idx),
+                np.concatenate(vals),
+            )
+        return COOMatrix.empty(self.shape, dtype=self.dtype)
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def n_diags(self) -> int:
+        """Number of stored diagonals."""
+        return int(self.offsets.size)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored slots per structural non-zero (>= 1)."""
+        nnz = self.nnz
+        return self.data.size / nnz if nnz else 1.0
+
+    def memory_bytes(self) -> int:
+        """The dense diagonal plane plus the offsets array.
+
+        No per-element column indices at all — DIA's defining advantage.
+        """
+        return self.data.size * self.dtype.itemsize + self.n_diags * INDEX_BYTES
+
+    # -- behaviour ------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal-wise SpMV: one shifted AXPY per stored diagonal."""
+        x = check_vector(x, self.n_cols, self.dtype)
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        for d, off in enumerate(self.offsets):
+            # Row range whose column i+off is inside the matrix.
+            lo = max(0, -off)
+            hi = min(self.n_rows, self.n_cols - off)
+            if hi > lo:
+                y[lo:hi] += self.data[d, lo:hi] * x[lo + off : hi + off]
+        return y

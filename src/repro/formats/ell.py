@@ -1,0 +1,177 @@
+"""ELLPACK (ELL) format.
+
+ELL stores the matrix as two dense ``n_rows × K`` arrays — column
+indices and values — where ``K`` is the maximum number of non-zeros in
+any row; shorter rows are padded (paper Sec. II-A.3, Fig. 1(c)).  On
+the GPU the arrays are laid out column-major so that thread ``i``
+processing row ``i`` reads element ``[i, j]`` at step ``j`` and a warp's
+loads coalesce perfectly.
+
+The price is the padding: a single long row inflates storage (and the
+bytes the kernel must stream) by ``K / nnz_mu``.  The
+:attr:`ELLMatrix.padding_ratio` exposes this blow-up, and construction
+can be guarded with ``max_padding_ratio`` so pathological matrices are
+rejected the same way a real GPU run would fail to allocate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    FormatError,
+    SparseFormat,
+    _freeze,
+    check_shape,
+    check_vector,
+)
+from .coo import COOMatrix
+
+__all__ = ["ELLMatrix"]
+
+#: Column index stored in padding slots.  Kernels must skip it; we use a
+#: sentinel rather than duplicating index 0 so corruption is detectable.
+PAD_COL = INDEX_DTYPE(-1)
+
+
+class ELLMatrix(SparseFormat):
+    """ELLPACK matrix with ``n_rows × width`` padded storage.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)``.
+    col_idx:
+        ``(rows, width)`` int array; padding slots hold :data:`PAD_COL`.
+    values:
+        ``(rows, width)`` float array; padding slots hold ``0``.
+    """
+
+    name = "ell"
+
+    def __init__(
+        self, shape: Tuple[int, int], col_idx: np.ndarray, values: np.ndarray
+    ) -> None:
+        self.shape = check_shape(shape)
+        col_idx = np.asarray(col_idx, dtype=INDEX_DTYPE)
+        values = np.asarray(values)
+        if values.dtype not in (np.float32, np.float64):
+            values = values.astype(np.float64)
+        if col_idx.ndim != 2 or values.ndim != 2 or col_idx.shape != values.shape:
+            raise FormatError("col_idx and values must be equal-shape 2-D arrays")
+        if col_idx.shape[0] != self.shape[0]:
+            raise FormatError(
+                f"ELL arrays must have one row per matrix row "
+                f"({self.shape[0]}), got {col_idx.shape[0]}"
+            )
+        pad = col_idx == PAD_COL
+        if col_idx.size and col_idx[~pad].size:
+            live = col_idx[~pad]
+            if live.min() < 0 or live.max() >= self.shape[1]:
+                raise FormatError("column index out of bounds")
+        if values[pad].any():
+            raise FormatError("padding slots must store zero values")
+        self.col_idx = _freeze(col_idx)
+        self.values = _freeze(values)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, *, max_padding_ratio: Optional[float] = None
+    ) -> "ELLMatrix":
+        """Pack a canonical COO matrix into ELL layout.
+
+        Parameters
+        ----------
+        max_padding_ratio:
+            If given, raise :class:`FormatError` when
+            ``width * n_rows > max_padding_ratio * nnz`` — the analogue
+            of an ELL allocation failing on device for wildly skewed
+            matrices (the paper drops such cases from its dataset).
+        """
+        lengths = coo.row_lengths()
+        width = int(lengths.max(initial=0))
+        n_rows = coo.n_rows
+        if max_padding_ratio is not None and coo.nnz:
+            if width * n_rows > max_padding_ratio * coo.nnz:
+                raise FormatError(
+                    f"ELL padding ratio {width * n_rows / coo.nnz:.1f} exceeds "
+                    f"limit {max_padding_ratio}"
+                )
+        col_idx = np.full((n_rows, max(width, 1) if n_rows else 0), PAD_COL, dtype=INDEX_DTYPE)
+        values = np.zeros_like(col_idx, dtype=coo.dtype)
+        if coo.nnz:
+            # Position of each nnz within its row: canonical order means
+            # entries of a row are consecutive, so a per-row ramp works.
+            starts = np.zeros(n_rows + 1, dtype=np.int64)
+            np.cumsum(lengths, out=starts[1:])
+            slot = np.arange(coo.nnz, dtype=np.int64) - starts[coo.row]
+            col_idx[coo.row, slot] = coo.col
+            values[coo.row, slot] = coo.val
+        if width == 0:
+            col_idx = col_idx[:, :0]
+            values = values[:, :0]
+        return cls(coo.shape, col_idx, values)
+
+    def to_coo(self) -> COOMatrix:
+        live = self.col_idx != PAD_COL
+        row, slot = np.nonzero(live)
+        return COOMatrix(
+            self.shape,
+            row.astype(INDEX_DTYPE),
+            self.col_idx[row, slot],
+            self.values[row, slot],
+            canonical=False,
+        )
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Padded row width ``K`` (the maximum row population)."""
+        return int(self.col_idx.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col_idx != PAD_COL))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored slots (rows × width) per structural non-zero; ≥ 1."""
+        nnz = self.nnz
+        if nnz == 0:
+            return 1.0
+        return self.col_idx.size / nnz
+
+    def memory_bytes(self) -> int:
+        """Padded index + value planes — padding is streamed too."""
+        return self.col_idx.size * (INDEX_BYTES + self.dtype.itemsize)
+
+    # -- behaviour ------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Column-major traversal: step ``j`` processes slot ``j`` of all rows.
+
+        This mirrors the GPU kernel where at each step the warp reads one
+        fully coalesced column of the ELL arrays; padding lanes multiply
+        by zero, exactly like the device code's predicated loads.
+        """
+        x = check_vector(x, self.n_cols, self.dtype)
+        if self.width == 0:
+            return np.zeros(self.n_rows, dtype=self.dtype)
+        gather_idx = np.where(self.col_idx == PAD_COL, 0, self.col_idx)
+        # One fused gather+multiply per slot column keeps peak memory at
+        # O(rows) rather than materialising the full padded product plane.
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        for j in range(self.width):
+            y += self.values[:, j] * x[gather_idx[:, j]]
+        return y

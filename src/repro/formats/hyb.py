@@ -1,0 +1,156 @@
+"""HYB (hybrid ELL + COO) format.
+
+HYB splits each row at a threshold ``k``: the first ``k`` entries of
+every row go into a regular ELL part (width ``k``), the spill-over goes
+into a COO part (paper Sec. II-A.4).  It thus combines ELL's coalesced,
+balanced access for the "typical" prefix of each row with COO's
+structure insensitivity for the heavy tail.
+
+The paper uses the *mean non-zeros per row* (``nnz_mu``) as the split
+threshold rather than cuSPARSE's ``max(4096, rows/3)`` histogram rule;
+both policies are provided, with the paper's as the default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import FormatError, SparseFormat, check_shape, check_vector
+from .coo import COOMatrix
+from .ell import ELLMatrix
+
+__all__ = ["HYBMatrix", "mu_threshold", "histogram_threshold"]
+
+
+def mu_threshold(coo: COOMatrix) -> int:
+    """The paper's split rule: the (ceil of the) mean nnz per row."""
+    if coo.n_rows == 0 or coo.nnz == 0:
+        return 0
+    return max(1, math.ceil(coo.nnz / coo.n_rows))
+
+
+def histogram_threshold(coo: COOMatrix) -> int:
+    """cuSPARSE-style rule: widest ``k`` covering all but ``rows/3`` spills.
+
+    Chooses the largest width ``k`` such that fewer than
+    ``max(4096, rows/3)`` rows have more than ``k`` entries, i.e. the COO
+    part stays small unless the tail is genuinely heavy.
+    """
+    if coo.n_rows == 0 or coo.nnz == 0:
+        return 0
+    lengths = coo.row_lengths()
+    budget = max(4096, coo.n_rows // 3)
+    # rows_longer_than[k] = number of rows with length > k, via a reverse
+    # cumulative histogram.
+    hist = np.bincount(lengths)
+    rows_longer = coo.n_rows - np.cumsum(hist)
+    candidates = np.flatnonzero(rows_longer <= budget)
+    return int(candidates[0]) if candidates.size else int(lengths.max())
+
+
+class HYBMatrix(SparseFormat):
+    """Hybrid ELL/COO matrix.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)``.
+    ell:
+        The width-``k`` regular part (same shape as the full matrix;
+        rows shorter than ``k`` are padded inside the ELL part).
+    coo:
+        Spill-over entries (same shape, only rows longer than ``k``
+        contribute).
+    """
+
+    name = "hyb"
+
+    def __init__(self, shape: Tuple[int, int], ell: ELLMatrix, coo: COOMatrix) -> None:
+        self.shape = check_shape(shape)
+        if ell.shape != self.shape or coo.shape != self.shape:
+            raise FormatError("ELL and COO parts must share the full matrix shape")
+        if ell.dtype != coo.dtype:
+            raise FormatError("ELL and COO parts must share a dtype")
+        self.ell = ell
+        self.coo = coo
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, *, threshold: Optional[int] = None
+    ) -> "HYBMatrix":
+        """Split a canonical COO matrix at ``threshold`` entries per row.
+
+        ``threshold=None`` applies the paper's ``nnz_mu`` rule.
+        """
+        k = mu_threshold(coo) if threshold is None else int(threshold)
+        if k < 0:
+            raise FormatError(f"threshold must be non-negative, got {k}")
+        if coo.nnz == 0:
+            return cls(coo.shape, ELLMatrix.from_coo(coo), coo)
+        lengths = coo.row_lengths()
+        starts = np.zeros(coo.n_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=starts[1:])
+        slot = np.arange(coo.nnz, dtype=np.int64) - starts[coo.row]
+        in_ell = slot < k
+        ell_part = COOMatrix(
+            coo.shape,
+            coo.row[in_ell],
+            coo.col[in_ell],
+            coo.val[in_ell],
+            canonical=False,
+        )
+        coo_part = COOMatrix(
+            coo.shape,
+            coo.row[~in_ell],
+            coo.col[~in_ell],
+            coo.val[~in_ell],
+            canonical=False,
+        )
+        return cls(coo.shape, ELLMatrix.from_coo(ell_part), coo_part)
+
+    def to_coo(self) -> COOMatrix:
+        ell_coo = self.ell.to_coo()
+        return COOMatrix(
+            self.shape,
+            np.concatenate([ell_coo.row, self.coo.row]),
+            np.concatenate([ell_coo.col, self.coo.col]),
+            np.concatenate([ell_coo.val, self.coo.val]),
+        )
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def threshold(self) -> int:
+        """Effective split width (the ELL part's padded width)."""
+        return self.ell.width
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.coo.nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.ell.dtype
+
+    @property
+    def coo_fraction(self) -> float:
+        """Fraction of non-zeros that spilled into the COO part."""
+        total = self.nnz
+        return self.coo.nnz / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        return self.ell.memory_bytes() + self.coo.memory_bytes()
+
+    # -- behaviour ------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Two kernel launches on device: ELL pass then COO pass."""
+        x = check_vector(x, self.n_cols, self.dtype)
+        y = self.ell.spmv(x)
+        y += self.coo.spmv(x)
+        return y

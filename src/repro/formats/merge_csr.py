@@ -1,0 +1,185 @@
+"""Merge-based CSR SpMV (Merrill & Garland, PPoPP 2016).
+
+The merge-based algorithm keeps the *standard CSR arrays* (paper
+Sec. II-A.6) but distributes work by logically merging two sorted lists
+
+* ``A`` — the row-end offsets ``indptr[1:]`` (length ``n_rows``), and
+* ``B`` — the natural numbers ``0..nnz-1`` (the non-zero indices),
+
+into a path of length ``n_rows + nnz``.  Splitting that path into equal
+segments gives every thread exactly the same amount of combined
+row-bookkeeping + element work regardless of how skewed the row lengths
+are.  Each thread runs a 2-D binary search ("merge-path search") along
+its diagonal to find its starting ``(row, nnz)`` coordinate, consumes
+its segment, and publishes a partial sum for the row it ends inside,
+which a fix-up pass adds back.
+
+:meth:`MergeCSRMatrix.spmv` implements exactly this decomposition —
+including the diagonal search and the carry fix-up — so the partition
+logic itself is under test (any partition count must give identical
+results).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import INDEX_BYTES, FormatError, SparseFormat, check_shape, check_vector
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["MergeCSRMatrix", "merge_path_search"]
+
+#: Default number of merge-path partitions used by :meth:`spmv`.  On the
+#: GPU this is ``#threads``; functionally any positive value works.
+DEFAULT_PARTITIONS = 64
+
+
+def merge_path_search(diagonals: np.ndarray, indptr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Locate merge-path coordinates for the given diagonals.
+
+    For each diagonal ``d`` (total consumed items), returns the pair
+    ``(rows_consumed, nnz_consumed)`` with
+    ``rows_consumed + nnz_consumed == d`` such that the first
+    ``rows_consumed`` row-end offsets are all ``<=`` the first
+    ``nnz_consumed`` element indices — the standard merge-path invariant
+    (ties consume from the row list first, matching the reference
+    implementation's ``<=`` comparison).
+
+    Vectorised over ``diagonals``; each lookup is a binary search, i.e.
+    O(log rows) per diagonal exactly like the GPU kernel.
+
+    Parameters
+    ----------
+    diagonals:
+        1-D int array of path positions in ``[0, rows + nnz]``.
+    indptr:
+        CSR row pointer (length ``rows + 1``).
+    """
+    diagonals = np.asarray(diagonals, dtype=np.int64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    n_rows = indptr.size - 1
+    nnz = int(indptr[-1])
+    if np.any(diagonals < 0) or np.any(diagonals > n_rows + nnz):
+        raise FormatError("diagonal out of range")
+    # rows_consumed = largest r with indptr[r] + r <= d (consuming a
+    # row-end marker requires all of that row's elements consumed first).
+    # The key array (indptr[r] + r for r = 1..n_rows) is sorted, so
+    # searchsorted performs the classic diagonal binary search.
+    key = indptr[1:] + np.arange(1, n_rows + 1, dtype=np.int64)
+    rows_consumed = np.searchsorted(key, diagonals, side="right")
+    nnz_consumed = diagonals - rows_consumed
+    return rows_consumed.astype(np.int64), nnz_consumed.astype(np.int64)
+
+
+class MergeCSRMatrix(SparseFormat):
+    """CSR matrix executed with the merge-based SpMV decomposition.
+
+    The storage is plain CSR (it shares the arrays with
+    :class:`~repro.formats.csr.CSRMatrix`); only the execution schedule
+    differs, which is why the paper treats "merge-based CSR" as a
+    distinct *format choice* with its own performance profile.
+    """
+
+    name = "merge_csr"
+
+    def __init__(self, csr: CSRMatrix, *, partitions: int = DEFAULT_PARTITIONS) -> None:
+        if not isinstance(csr, CSRMatrix):
+            raise FormatError("MergeCSRMatrix wraps a CSRMatrix")
+        if partitions <= 0:
+            raise FormatError("partitions must be positive")
+        self.shape = check_shape(csr.shape)
+        self.csr = csr
+        self.partitions = int(partitions)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, partitions: int = DEFAULT_PARTITIONS) -> "MergeCSRMatrix":
+        return cls(CSRMatrix.from_coo(coo), partitions=partitions)
+
+    def to_coo(self) -> COOMatrix:
+        return self.csr.to_coo()
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Shared CSR row pointer."""
+        return self.csr.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Shared CSR column indices."""
+        return self.csr.indices
+
+    @property
+    def data(self) -> np.ndarray:
+        """Shared CSR values."""
+        return self.csr.data
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.csr.dtype
+
+    def row_lengths(self) -> np.ndarray:
+        return self.csr.row_lengths()
+
+    def memory_bytes(self) -> int:
+        """CSR arrays plus the per-partition coordinate scratch."""
+        return self.csr.memory_bytes() + 2 * (self.partitions + 1) * INDEX_BYTES
+
+    # -- behaviour ------------------------------------------------------
+
+    def partition_coordinates(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge-path start coordinates of every partition.
+
+        Returns ``(row_starts, nnz_starts)``, each of length
+        ``partitions + 1`` (the last entry is the terminal coordinate
+        ``(n_rows, nnz)``).
+        """
+        total = self.n_rows + self.nnz
+        diagonals = np.linspace(0, total, self.partitions + 1).astype(np.int64)
+        return merge_path_search(diagonals, self.indptr)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Merge-path SpMV with explicit per-partition carry fix-up."""
+        x = check_vector(x, self.n_cols, self.dtype)
+        y = np.zeros(self.n_rows, dtype=self.dtype)
+        if self.nnz == 0:
+            return y
+        products = self.data * x[self.indices]
+        row_starts, nnz_starts = self.partition_coordinates()
+        indptr = self.indptr
+        carries = np.zeros(self.partitions, dtype=self.dtype)
+        carry_rows = np.full(self.partitions, -1, dtype=np.int64)
+        for p in range(self.partitions):
+            r0, r1 = int(row_starts[p]), int(row_starts[p + 1])
+            e0, e1 = int(nnz_starts[p]), int(nnz_starts[p + 1])
+            if e0 == e1 and r0 == r1:
+                continue
+            # Rows fully *ending* inside this partition are r0..r1-1; their
+            # elements span [max(indptr[r], e0), indptr[r+1]).  Elements past
+            # the last completed row belong to row r1 and become the carry.
+            seg = products[e0:e1]
+            csum = np.concatenate(([0], np.cumsum(seg, dtype=np.float64)))
+            if r1 > r0:
+                ends = np.clip(indptr[r0 + 1 : r1 + 1], e0, e1) - e0
+                starts = np.concatenate(([0], ends[:-1]))
+                y[r0:r1] += (csum[ends] - csum[starts]).astype(self.dtype)
+                tail = csum[-1] - csum[ends[-1]]
+            else:
+                tail = csum[-1]
+            if r1 < self.n_rows and tail != 0.0:
+                carries[p] = tail
+                carry_rows[p] = r1
+        live = carry_rows >= 0
+        if live.any():
+            np.add.at(y, carry_rows[live], carries[live])
+        return y

@@ -1,0 +1,51 @@
+"""GPU execution simulator (stand-in for the paper's K40c/K80c and P100).
+
+The subpackage provides:
+
+* :class:`~repro.gpu.device.DeviceSpec` with the presets
+  :data:`~repro.gpu.device.KEPLER_K40C` and
+  :data:`~repro.gpu.device.PASCAL_P100` (paper Table III),
+* :func:`~repro.gpu.profile.profile_matrix` — the one-pass structural
+  analysis feeding the cost models,
+* :func:`~repro.gpu.kernels.estimate_time` — six per-format kernel cost
+  models,
+* :class:`~repro.gpu.executor.SpMVExecutor` — the measurement harness
+  implementing the paper's 50-repetition averaging protocol, with
+  simulated OOM / kernel-failure modes and calibrated noise.
+
+See DESIGN.md ("Substitutions") for why an analytical simulator
+preserves the behaviour the ML study depends on.
+"""
+
+from .cache import gather_traffic_bytes  # noqa: F401
+from .device import DEVICES, DeviceSpec, KEPLER_K40C, PASCAL_P100  # noqa: F401
+from .executor import (  # noqa: F401
+    KernelFailure,
+    OutOfMemoryError,
+    SimulationError,
+    SpMVExecutor,
+    TimingSample,
+)
+from .kernels import KERNEL_MODELS, CostBreakdown, estimate_time  # noqa: F401
+from .noise import NoiseModel  # noqa: F401
+from .profile import GatherStats, MatrixProfile, profile_matrix  # noqa: F401
+
+__all__ = [
+    "DeviceSpec",
+    "KEPLER_K40C",
+    "PASCAL_P100",
+    "DEVICES",
+    "MatrixProfile",
+    "GatherStats",
+    "profile_matrix",
+    "gather_traffic_bytes",
+    "CostBreakdown",
+    "estimate_time",
+    "KERNEL_MODELS",
+    "NoiseModel",
+    "SpMVExecutor",
+    "TimingSample",
+    "SimulationError",
+    "OutOfMemoryError",
+    "KernelFailure",
+]

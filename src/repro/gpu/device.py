@@ -1,0 +1,180 @@
+"""GPU device descriptors for the execution simulator.
+
+The paper's testbeds (Table III) are a Kepler-class Tesla (referred to
+as both K40c and K80c in the text) and a Pascal-class Tesla P100.  A
+:class:`DeviceSpec` carries the handful of architectural parameters the
+SpMV cost models consume; two presets reproduce the paper's machines
+and users can declare their own.
+
+SpMV is bandwidth-bound, so the first-order quantities are the DRAM
+bandwidth, the L2 capacity available to cache the input vector, and the
+latency/occupancy constants that govern how quickly a kernel can reach
+streaming speed.  Second-order, architecture-flavoured effects (atomic
+throughput for COO-style reductions, kernel launch cost, double-precision
+throughput) differentiate Kepler from Pascal the same way the paper's
+measurements do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["DeviceSpec", "KEPLER_K40C", "PASCAL_P100", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name (also the registry key).
+    arch:
+        Architecture family, ``"kepler"`` or ``"pascal"`` (drives a few
+        family-specific kernel constants).
+    n_sm:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        FP32 cores per SM.
+    clock_mhz:
+        Boost clock in MHz.
+    mem_bw_gbps:
+        Peak DRAM bandwidth, GB/s.
+    l2_bytes:
+        L2 cache capacity, bytes.
+    global_mem_bytes:
+        DRAM capacity (used to reject matrices that wouldn't fit, the
+        paper excluded ~400 such SuiteSparse matrices).
+    cache_line_bytes:
+        Granularity of DRAM/L2 transactions.
+    warp_size:
+        Threads per warp (32 on all NVIDIA parts).
+    launch_overhead_us:
+        Fixed cost of one kernel launch, microseconds.
+    saturation_bytes:
+        Streaming-workload size at which DRAM utilisation reaches 50 %
+        (the latency-bandwidth product; governs the small-matrix GFLOPS
+        ramp seen in the paper's Fig. 3).
+    atomic_efficiency:
+        Relative throughput of global atomic updates vs plain stores
+        (Pascal's atomics are markedly better than Kepler's).
+    fp64_throughput_ratio:
+        FP64:FP32 arithmetic rate (1/3 on GK110, 1/2 on GP100).
+    bw_efficiency:
+        Fraction of the peak bandwidth attainable by a perfectly
+        coalesced streaming kernel (ECC + DRAM inefficiency).
+    """
+
+    name: str
+    arch: str
+    n_sm: int
+    cores_per_sm: int
+    clock_mhz: float
+    mem_bw_gbps: float
+    l2_bytes: int
+    global_mem_bytes: int
+    cache_line_bytes: int = 128
+    warp_size: int = 32
+    launch_overhead_us: float = 4.0
+    saturation_bytes: float = 1.5e6
+    atomic_efficiency: float = 0.5
+    fp64_throughput_ratio: float = 0.5
+    bw_efficiency: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("kepler", "pascal"):
+            raise ValueError(f"unknown arch {self.arch!r}")
+        for attr in ("n_sm", "cores_per_sm", "clock_mhz", "mem_bw_gbps",
+                     "l2_bytes", "global_mem_bytes"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak DRAM bandwidth in bytes/second."""
+        return self.mem_bw_gbps * 1e9
+
+    @property
+    def stream_bandwidth(self) -> float:
+        """Attainable streaming bandwidth (bytes/s) after ECC losses."""
+        return self.peak_bandwidth * self.bw_efficiency
+
+    @property
+    def clock_hz(self) -> float:
+        """Boost clock in Hz."""
+        return self.clock_mhz * 1e6
+
+    def peak_gflops(self, precision: str = "single") -> float:
+        """Peak FMA GFLOP/s for the given precision."""
+        flops = 2.0 * self.n_sm * self.cores_per_sm * self.clock_hz
+        if precision == "double":
+            flops *= self.fp64_throughput_ratio
+        return flops / 1e9
+
+    @property
+    def concurrent_threads(self) -> int:
+        """Threads resident at full occupancy (2048/SM on these parts)."""
+        return self.n_sm * 2048
+
+    def utilization(self, work_bytes: float) -> float:
+        """DRAM utilisation reached by a kernel streaming ``work_bytes``.
+
+        Small kernels cannot cover the memory latency with enough
+        in-flight requests; utilisation follows a saturating curve
+        ``w / (w + saturation_bytes)`` which reproduces the GFLOPS-vs-nnz
+        ramp of real SpMV measurements.
+        """
+        w = max(float(work_bytes), 0.0)
+        return w / (w + self.saturation_bytes)
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's Kepler testbed (Table III quotes 13 SMs / 192 cores/SM /
+#: 824 MHz / 12 GB / 1.5 MB L2; GDDR5 bandwidth of the K40-class part).
+KEPLER_K40C = DeviceSpec(
+    name="Tesla K40c",
+    arch="kepler",
+    n_sm=13,
+    cores_per_sm=192,
+    clock_mhz=824.0,
+    mem_bw_gbps=288.0,
+    l2_bytes=1_572_864,
+    global_mem_bytes=12 * 1024**3,
+    launch_overhead_us=4.0,
+    saturation_bytes=1.2e6,
+    atomic_efficiency=0.35,
+    fp64_throughput_ratio=1.0 / 3.0,
+    bw_efficiency=0.72,
+)
+
+#: The paper's Pascal testbed (56 SMs / 64 cores/SM / 1328 MHz / 16 GB /
+#: 4 MB L2, HBM2).
+PASCAL_P100 = DeviceSpec(
+    name="Tesla P100",
+    arch="pascal",
+    n_sm=56,
+    cores_per_sm=64,
+    clock_mhz=1328.0,
+    mem_bw_gbps=732.0,
+    l2_bytes=4_194_304,
+    global_mem_bytes=16 * 1024**3,
+    launch_overhead_us=3.0,
+    saturation_bytes=2.5e6,
+    atomic_efficiency=0.65,
+    fp64_throughput_ratio=0.5,
+    bw_efficiency=0.78,
+)
+
+#: Registry of preset devices, keyed by short alias.
+DEVICES: Dict[str, DeviceSpec] = {
+    "k40c": KEPLER_K40C,
+    "k80c": KEPLER_K40C,  # the paper uses both names for its Kepler box
+    "p100": PASCAL_P100,
+}

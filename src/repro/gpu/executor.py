@@ -1,0 +1,257 @@
+"""The SpMV execution engine: numerics + simulated timing.
+
+:class:`SpMVExecutor` stands in for the paper's measurement harness
+(cuSPARSE / CSR5 / merge-CSR kernels timed on a K40c-K80c and a P100).
+For a given matrix and format it
+
+1. optionally executes ``y = A @ x`` *numerically* with the real format
+   data structures (so every kernel is functionally exercised), and
+2. produces a timing sample from the analytical kernel model
+   (:mod:`repro.gpu.kernels`) combined with the noise model
+   (:mod:`repro.gpu.noise`).
+
+The paper's measurement protocol — run each (matrix, format) 50 times
+and average (Sec. IV-B) — is :meth:`SpMVExecutor.benchmark`.
+
+Failure modes are simulated too: a format whose device footprint
+exceeds GPU memory raises :class:`OutOfMemoryError`, and an ELL
+conversion whose padding blows past ``ell_padding_limit`` raises
+:class:`KernelFailure` — together these reproduce the ~400 SuiteSparse
+matrices the paper had to drop because they "did not fit in the GPU
+memory or failed to execute for one or more storage formats".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..formats import FORMAT_NAMES, SparseFormat, as_format
+from .device import DeviceSpec
+from .kernels import IDX, CostBreakdown, estimate_time
+from .noise import NoiseModel
+from .profile import MatrixProfile, profile_matrix
+
+__all__ = [
+    "SpMVExecutor",
+    "TimingSample",
+    "SimulationError",
+    "OutOfMemoryError",
+    "KernelFailure",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulated execution failures."""
+
+
+class OutOfMemoryError(SimulationError):
+    """The format's device footprint exceeds GPU memory."""
+
+
+class KernelFailure(SimulationError):
+    """The kernel cannot execute this matrix (e.g. ELL padding blow-up)."""
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """Aggregated timing of one (matrix, format) configuration.
+
+    ``seconds`` is the mean over ``reps`` repetitions — the quantity the
+    paper uses as its regression label; ``gflops`` the corresponding
+    achieved rate (``2 nnz / seconds``).
+    """
+
+    fmt: str
+    device: str
+    precision: str
+    seconds: float
+    std_seconds: float
+    reps: int
+    gflops: float
+    breakdown: CostBreakdown
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("timing must be positive")
+
+
+class SpMVExecutor:
+    """Simulated GPU SpMV runner for one device + precision.
+
+    Parameters
+    ----------
+    device:
+        Target :class:`~repro.gpu.device.DeviceSpec`.
+    precision:
+        ``"single"`` or ``"double"`` (paper evaluates both).
+    noise:
+        Noise model; default matches the calibration used for the
+        reproduction experiments.  Pass ``NoiseModel(0, 0)`` for fully
+        deterministic timings.
+    seed:
+        Seed of the per-run jitter stream.
+    ell_padding_limit:
+        Optional cap on ELL slots-per-nnz beyond which the ELL kernel
+        is declared failed even if it would fit in memory.  ``None``
+        (default) lets ELL run arbitrarily padded — like a real GPU,
+        where a skewed matrix makes ELL *slow* long before the
+        allocation fails — so only genuine OOM drops a matrix.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        precision: str = "single",
+        *,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 0,
+        ell_padding_limit: Optional[float] = None,
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ValueError(f"precision must be 'single' or 'double', got {precision!r}")
+        self.device = device
+        self.precision = precision
+        self.noise = noise if noise is not None else NoiseModel()
+        self.rng = np.random.default_rng(seed)
+        self.ell_padding_limit = None if ell_padding_limit is None else float(ell_padding_limit)
+        self._profile_cache: Dict[bytes, MatrixProfile] = {}
+
+    # -- profiling -------------------------------------------------------
+
+    def profile(self, matrix: Union[SparseFormat, MatrixProfile]) -> MatrixProfile:
+        """Profile ``matrix`` (cached by structure digest)."""
+        if isinstance(matrix, MatrixProfile):
+            return matrix
+        prof = profile_matrix(matrix)
+        return self._profile_cache.setdefault(prof.digest, prof)
+
+    # -- feasibility -------------------------------------------------------
+
+    def _format_bytes(self, prof: MatrixProfile, fmt: str) -> float:
+        """Analytic device footprint of ``fmt`` for this matrix."""
+        v = 4 if self.precision == "single" else 8
+        nnz, rows = prof.nnz, prof.n_rows
+        if fmt == "coo":
+            return nnz * (2 * IDX + v)
+        if fmt in ("csr", "merge_csr"):
+            return nnz * (IDX + v) + (rows + 1) * IDX
+        if fmt == "ell":
+            return rows * prof.nnz_max * (IDX + v)
+        if fmt == "hyb":
+            return (
+                rows * min(prof.hyb_threshold, prof.nnz_max) * (IDX + v)
+                + prof.hyb_spill_nnz * (2 * IDX + v)
+            )
+        if fmt == "csr5":
+            return nnz * (IDX + v) + (rows + 1) * IDX + nnz / 8.0
+        if fmt == "dia":
+            return prof.n_diags * rows * v + prof.n_diags * IDX
+        if fmt == "bsr":
+            return prof.bsr_blocks * 16 * v + prof.bsr_blocks * IDX
+        raise KeyError(fmt)
+
+    def check_feasible(self, matrix: Union[SparseFormat, MatrixProfile], fmt: str) -> None:
+        """Raise a :class:`SimulationError` if ``fmt`` cannot run here."""
+        prof = self.profile(matrix)
+        if (
+            fmt == "ell"
+            and self.ell_padding_limit is not None
+            and prof.nnz
+            and prof.ell_padding_ratio > self.ell_padding_limit
+        ):
+            raise KernelFailure(
+                f"ELL padding ratio {prof.ell_padding_ratio:.1f} exceeds the "
+                f"limit of {self.ell_padding_limit:g}"
+            )
+        v = 4 if self.precision == "single" else 8
+        need = self._format_bytes(prof, fmt) + (prof.n_rows + prof.n_cols) * v
+        if need > self.device.global_mem_bytes:
+            raise OutOfMemoryError(
+                f"{fmt} needs {need / 1e9:.2f} GB, device has "
+                f"{self.device.global_mem_bytes / 1e9:.2f} GB"
+            )
+
+    # -- timing -------------------------------------------------------------
+
+    def estimate(self, matrix: Union[SparseFormat, MatrixProfile], fmt: str) -> CostBreakdown:
+        """Noise-free analytical estimate for one invocation."""
+        prof = self.profile(matrix)
+        return estimate_time(fmt, prof, self.device, self.precision)
+
+    def benchmark(
+        self,
+        matrix: Union[SparseFormat, MatrixProfile],
+        fmt: str,
+        *,
+        reps: int = 50,
+    ) -> TimingSample:
+        """Time ``fmt`` on ``matrix``: the paper's 50-rep mean protocol."""
+        if reps <= 0:
+            raise ValueError("reps must be positive")
+        prof = self.profile(matrix)
+        self.check_feasible(prof, fmt)
+        base = estimate_time(fmt, prof, self.device, self.precision)
+        fixed = self.noise.structural_factor(
+            prof.digest, fmt, self.device.name, self.precision
+        )
+        runs = base.seconds * fixed * self.noise.run_factors(self.rng, reps)
+        mean = float(runs.mean())
+        return TimingSample(
+            fmt=fmt,
+            device=self.device.name,
+            precision=self.precision,
+            seconds=mean,
+            std_seconds=float(runs.std()),
+            reps=reps,
+            gflops=base.flops / mean / 1e9 if mean > 0 else 0.0,
+            breakdown=base,
+        )
+
+    def benchmark_all(
+        self,
+        matrix: Union[SparseFormat, MatrixProfile],
+        *,
+        formats=FORMAT_NAMES,
+        reps: int = 50,
+    ) -> Dict[str, Optional[TimingSample]]:
+        """Benchmark every format; failed formats map to ``None``."""
+        out: Dict[str, Optional[TimingSample]] = {}
+        for fmt in formats:
+            try:
+                out[fmt] = self.benchmark(matrix, fmt, reps=reps)
+            except SimulationError:
+                out[fmt] = None
+        return out
+
+    # -- numeric execution ---------------------------------------------------
+
+    def run(
+        self,
+        matrix: SparseFormat,
+        fmt: str,
+        x: Optional[np.ndarray] = None,
+        *,
+        reps: int = 1,
+    ) -> tuple:
+        """Execute SpMV numerically *and* time it.
+
+        Returns ``(y, sample)`` where ``y`` is the numerically computed
+        product using the real format data structures (converted if
+        needed) and ``sample`` the :class:`TimingSample`.  This is the
+        full-fidelity path used by the examples and integration tests;
+        dataset labeling uses :meth:`benchmark` to avoid materialising
+        six formats for every corpus matrix.
+        """
+        prof = self.profile(matrix)
+        self.check_feasible(prof, fmt)
+        dtype = np.float32 if self.precision == "single" else np.float64
+        coo = matrix.to_coo().astype(dtype)
+        A = as_format(coo, fmt)
+        if x is None:
+            x = np.ones(matrix.n_cols, dtype=dtype)
+        y = A.spmv(np.asarray(x, dtype=dtype))
+        sample = self.benchmark(prof, fmt, reps=reps)
+        return y, sample

@@ -1,0 +1,225 @@
+"""Structural matrix profile consumed by the kernel cost models.
+
+A :class:`MatrixProfile` is the result of one O(nnz) analysis pass over
+a matrix.  It collects every structure statistic the per-format cost
+models need — row-length moments, warp-level divergence/waste factors,
+the HYB split geometry, and cache-line gather statistics for the input
+vector in both precisions — so that estimating all six formats costs a
+single scan, mirroring how the feature extractor works (paper
+Sec. IV-A notes feature sets 2–3 need exactly one O(nnz) scan).
+
+The gather statistics deliberately capture *more* structure than the
+paper's 17 features (true unique-cache-line counts at 128-byte
+granularity): this is the "hidden" physical detail that keeps the ML
+problem realistic — features explain most, but not all, of the
+performance variance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from ..formats import CSRMatrix, SparseFormat
+
+__all__ = ["MatrixProfile", "GatherStats", "profile_matrix"]
+
+
+@dataclass(frozen=True)
+class GatherStats:
+    """Cache-line statistics of the x-vector gather at one precision.
+
+    Attributes
+    ----------
+    elems_per_line:
+        Vector elements per 128-byte cache line (32 fp32 / 16 fp64).
+    unique_lines:
+        Distinct x-lines touched anywhere in the matrix — the cold
+        (compulsory) traffic.
+    line_fetches:
+        Sum over rows of distinct lines touched in that row — the
+        traffic if no reuse survives across rows (streaming worst case).
+    x_lines:
+        Lines spanned by the whole x vector (``ceil(n_cols / epl)``).
+    """
+
+    elems_per_line: int
+    unique_lines: int
+    line_fetches: int
+    x_lines: int
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """One-pass structural summary of a sparse matrix.
+
+    All fields are plain numbers so profiles are cheap to cache and
+    hash; see :func:`profile_matrix`.
+    """
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    # Row-length distribution
+    nnz_mu: float       #: mean entries per row
+    nnz_sigma: float    #: population std-dev of entries per row
+    nnz_max: int        #: longest row
+    nnz_min: int        #: shortest row
+    empty_rows: int     #: rows with no entries
+    # Warp-level factors (32-row groups, as scheduled by scalar CSR)
+    warp_divergence: float  #: sum(32 * warp_max) / nnz, >= 1; scalar-CSR cost inflation
+    vector_waste: float     #: sum(ceil(len/32)*32) / nnz, >= 1; warp-per-row lane waste
+    # HYB split geometry at the paper's nnz_mu threshold
+    hyb_threshold: int   #: ELL width k of the HYB split
+    hyb_ell_nnz: int     #: entries stored in the ELL part
+    hyb_spill_nnz: int   #: entries spilled to the COO part
+    hyb_spill_rows: int  #: rows longer than k (rows receiving atomic updates)
+    # Extension-format geometry (DIA / BSR, see repro.formats.dia/bsr)
+    n_diags: int         #: occupied diagonals (DIA plane height)
+    bsr_blocks: int      #: occupied 4x4 blocks (BSR block count)
+    # Gather locality, per precision
+    gather: Dict[str, GatherStats]
+    # Stable identity for noise fixed effects
+    digest: bytes
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that are non-zero."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def row_cv(self) -> float:
+        """Coefficient of variation of the row lengths (σ/μ)."""
+        return self.nnz_sigma / self.nnz_mu if self.nnz_mu > 0 else 0.0
+
+    @property
+    def ell_width(self) -> int:
+        """ELL padded width (= longest row)."""
+        return self.nnz_max
+
+    @property
+    def ell_padding_ratio(self) -> float:
+        """ELL stored slots per non-zero (>= 1)."""
+        if self.nnz == 0:
+            return 1.0
+        return self.n_rows * self.nnz_max / self.nnz
+
+
+def _structure_digest(csr: CSRMatrix) -> bytes:
+    """Stable 16-byte digest of the matrix structure.
+
+    Hashes the shape plus a bounded stride sample of the index arrays,
+    so it is O(1)-ish for huge matrices yet collision-free in practice
+    for distinct corpus matrices.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64([csr.n_rows, csr.n_cols, csr.nnz]).tobytes())
+    for arr in (csr.indptr, csr.indices):
+        step = max(1, arr.size // 4096)
+        h.update(np.ascontiguousarray(arr[::step]).tobytes())
+    return h.digest()
+
+
+def _gather_stats(csr: CSRMatrix, itemsize: int, line_bytes: int = 128) -> GatherStats:
+    """Cache-line gather statistics at the given value size."""
+    epl = max(1, line_bytes // itemsize)
+    x_lines = -(-max(csr.n_cols, 1) // epl)
+    if csr.nnz == 0:
+        return GatherStats(epl, 0, 0, x_lines)
+    line = csr.indices.astype(np.int64) // epl
+    # Canonical CSR sorts columns within each row, so per-row distinct
+    # lines are transitions of `line` plus one per non-empty row.
+    new_line = np.empty(line.size, dtype=bool)
+    new_line[0] = True
+    np.not_equal(line[1:], line[:-1], out=new_line[1:])
+    lengths = np.diff(csr.indptr)
+    starts = csr.indptr[:-1][lengths > 0]
+    new_line[starts] = True
+    line_fetches = int(np.count_nonzero(new_line))
+    unique_lines = int(np.unique(line).size)
+    return GatherStats(epl, unique_lines, line_fetches, x_lines)
+
+
+def profile_matrix(matrix: Union[SparseFormat, CSRMatrix]) -> MatrixProfile:
+    """Run the single O(nnz) analysis pass and return the profile."""
+    csr = matrix if isinstance(matrix, CSRMatrix) else CSRMatrix.from_coo(matrix.to_coo())
+    lengths = np.diff(csr.indptr)
+    nnz = csr.nnz
+    n_rows = csr.n_rows
+
+    if n_rows:
+        mu = float(lengths.mean())
+        sigma = float(lengths.std())
+        lmax = int(lengths.max())
+        lmin = int(lengths.min())
+    else:
+        mu = sigma = 0.0
+        lmax = lmin = 0
+
+    # Warp factors: group consecutive rows in 32s (pad the tail).
+    if n_rows and nnz:
+        pad_rows = (-n_rows) % 32
+        padded = np.concatenate([lengths, np.zeros(pad_rows, dtype=lengths.dtype)])
+        warp_max = padded.reshape(-1, 32).max(axis=1)
+        warp_divergence = float(32.0 * warp_max.sum() / nnz)
+        vector_waste = float((np.ceil(lengths / 32.0) * 32.0).sum() / nnz)
+    else:
+        warp_divergence = 1.0
+        vector_waste = 1.0
+
+    # HYB split at the paper's mean-row-length threshold.
+    if nnz and n_rows:
+        k = max(1, int(np.ceil(nnz / n_rows)))
+        clipped = np.minimum(lengths, k)
+        hyb_ell_nnz = int(clipped.sum())
+        hyb_spill = nnz - hyb_ell_nnz
+        hyb_spill_rows = int(np.count_nonzero(lengths > k))
+    else:
+        k = 0
+        hyb_ell_nnz = 0
+        hyb_spill = 0
+        hyb_spill_rows = 0
+
+    gather = {
+        "single": _gather_stats(csr, 4),
+        "double": _gather_stats(csr, 8),
+    }
+
+    # Extension-format geometry: occupied diagonals and occupied 4x4
+    # blocks (one np.unique each; same O(nnz log nnz) class as the scan).
+    if nnz:
+        rows64 = np.repeat(
+            np.arange(n_rows, dtype=np.int64), lengths
+        )
+        cols64 = csr.indices.astype(np.int64)
+        n_diags = int(np.unique(cols64 - rows64).size)
+        n_bcols = -(-csr.n_cols // 4)
+        bsr_blocks = int(np.unique((rows64 // 4) * n_bcols + cols64 // 4).size)
+    else:
+        n_diags = 0
+        bsr_blocks = 0
+
+    return MatrixProfile(
+        n_rows=n_rows,
+        n_cols=csr.n_cols,
+        nnz=nnz,
+        nnz_mu=mu,
+        nnz_sigma=sigma,
+        nnz_max=lmax,
+        nnz_min=lmin,
+        empty_rows=int(np.count_nonzero(lengths == 0)),
+        warp_divergence=max(1.0, warp_divergence),
+        vector_waste=max(1.0, vector_waste),
+        hyb_threshold=k,
+        hyb_ell_nnz=hyb_ell_nnz,
+        hyb_spill_nnz=hyb_spill,
+        hyb_spill_rows=hyb_spill_rows,
+        n_diags=n_diags,
+        bsr_blocks=bsr_blocks,
+        gather=gather,
+        digest=_structure_digest(csr),
+    )

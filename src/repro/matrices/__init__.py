@@ -1,0 +1,59 @@
+"""Sparse-matrix corpus: synthetic generators, corpus sampler, and I/O.
+
+This subpackage is the reproduction's stand-in for the SuiteSparse
+collection (paper Sec. III / Table I): ten structural generator
+families, a Table-I-shaped corpus sampler, and Matrix Market I/O for
+ingesting real ``.mtx`` files when available.
+"""
+
+from .collection import (  # noqa: F401
+    NNZ_BINS,
+    CorpusEntry,
+    SyntheticCorpus,
+    table1_statistics,
+)
+from .generators import (  # noqa: F401
+    GENERATOR_FAMILIES,
+    banded,
+    clustered,
+    dense_rows,
+    fem_blocks,
+    multi_diagonal,
+    power_law,
+    random_uniform,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+)
+from .mmio import MatrixMarketError, read_matrix_market, write_matrix_market  # noqa: F401
+from .transform import (  # noqa: F401
+    bandwidth,
+    permute,
+    reverse_cuthill_mckee,
+    sort_rows_by_length,
+)
+
+__all__ = [
+    "GENERATOR_FAMILIES",
+    "random_uniform",
+    "banded",
+    "multi_diagonal",
+    "stencil_2d",
+    "stencil_3d",
+    "fem_blocks",
+    "power_law",
+    "rmat",
+    "dense_rows",
+    "clustered",
+    "NNZ_BINS",
+    "CorpusEntry",
+    "SyntheticCorpus",
+    "table1_statistics",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixMarketError",
+    "permute",
+    "sort_rows_by_length",
+    "reverse_cuthill_mckee",
+    "bandwidth",
+]

@@ -1,0 +1,307 @@
+"""Synthetic corpus shaped like the SuiteSparse collection.
+
+The paper evaluates on ~2300 SuiteSparse matrices whose nnz-range
+histogram and per-range statistics it tabulates in Table I.  This
+module samples a deterministic synthetic corpus with the same shape:
+
+* the same eight nnz bins with (scaled) Table I counts,
+* per-bin mean row counts chosen so mean nnz/row tracks Table I's
+  ``avg. nnz_mu`` column (density falls as size grows),
+* structural families drawn from :data:`repro.matrices.generators.GENERATOR_FAMILIES`
+  with weights that favour engineered structure at small sizes and
+  graph-like skew at large sizes, as in the real collection.
+
+``scale`` shrinks every bin proportionally (min one matrix per bin) so
+tests and CI-scale benchmarks can run in seconds while preserving the
+distributional shape; ``max_nnz`` caps the largest matrices for RAM- or
+time-constrained environments and is recorded so EXPERIMENTS.md can
+note the deviation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+from . import generators as G
+
+__all__ = ["NNZ_BINS", "CorpusEntry", "SyntheticCorpus", "table1_statistics"]
+
+#: Table I bins: (nnz lower bound, nnz upper bound, matrix count).
+NNZ_BINS: Tuple[Tuple[int, int, int], ...] = (
+    (3, 10_000, 747),
+    (10_000, 50_000, 508),
+    (50_000, 100_000, 209),
+    (100_000, 500_000, 362),
+    (500_000, 1_000_000, 147),
+    (1_000_000, 5_000_000, 208),
+    (5_000_000, 50_000_000, 109),
+    (50_000_000, 200_000_000, 9),
+)
+
+#: Table I "avg. nnz_mu" per bin, used to pick row counts.
+_BIN_NNZ_MU = (7.0, 15.0, 34.0, 69.0, 155.0, 214.0, 852.0, 29.0)
+
+#: Per-bin density ceilings (fraction, not percent), mirroring Table I's
+#: "avg. density" column falling from ~4.6 % to ~0.002 % as size grows.
+_BIN_MAX_DENSITY = (0.12, 0.04, 0.025, 0.018, 0.015, 0.012, 0.008, 0.0005)
+
+#: Per-bin family weights: structured families dominate small bins,
+#: graph-like families grow with size (mirrors SuiteSparse domains).
+_FAMILY_ORDER = (
+    "random_uniform",
+    "banded",
+    "multi_diagonal",
+    "stencil_2d",
+    "stencil_3d",
+    "fem_blocks",
+    "power_law",
+    "rmat",
+    "dense_rows",
+    "clustered",
+)
+
+
+def _family_weights(bin_index: int) -> np.ndarray:
+    t = bin_index / (len(NNZ_BINS) - 1)  # 0 = tiny, 1 = huge
+    w = {
+        "random_uniform": 1.0,
+        "banded": 1.3 - 0.6 * t,
+        "multi_diagonal": 0.9 - 0.4 * t,
+        "stencil_2d": 0.8,
+        "stencil_3d": 0.5 + 0.3 * t,
+        "fem_blocks": 0.9 - 0.3 * t,
+        "power_law": 1.0 + 0.8 * t,
+        "rmat": 0.6 + 1.0 * t,
+        "dense_rows": 1.0,
+        "clustered": 0.9,
+    }
+    arr = np.array([w[f] for f in _FAMILY_ORDER])
+    return arr / arr.sum()
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus matrix: metadata plus a deterministic build recipe."""
+
+    name: str            #: unique name, e.g. ``"power_law_0423"``
+    family: str          #: generator family key
+    bin_index: int       #: index into :data:`NNZ_BINS`
+    target_nnz: int      #: sampled nnz target (realised nnz may differ)
+    seed: int            #: generator seed
+    params: Dict         #: concrete generator kwargs
+
+    def build(self) -> COOMatrix:
+        """Generate the matrix (deterministic; not cached)."""
+        gen = G.GENERATOR_FAMILIES[self.family]
+        return gen(**self.params)
+
+
+class SyntheticCorpus:
+    """Deterministic SuiteSparse-shaped corpus of synthetic matrices.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the Table I counts to sample (``1.0`` ≈ 2300
+        matrices; ``0.1`` ≈ 230).  Every non-empty bin keeps at least
+        one matrix.
+    seed:
+        Master seed; two corpora with equal ``(scale, seed, max_nnz)``
+        are identical.
+    max_nnz:
+        Cap on the per-matrix nnz target (large bins are clipped);
+        ``None`` keeps Table I's full range — a 50M+ nnz matrix needs a
+        few GB of host RAM to generate.
+    families:
+        Optional subset of generator family names to restrict to.
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        *,
+        max_nnz: Optional[int] = None,
+        families: Optional[Sequence[str]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        unknown = set(families or ()) - set(_FAMILY_ORDER)
+        if unknown:
+            raise ValueError(f"unknown families: {sorted(unknown)}")
+        self.scale = float(scale)
+        self.seed = int(seed)
+        self.max_nnz = None if max_nnz is None else int(max_nnz)
+        self.families = tuple(families) if families else _FAMILY_ORDER
+        self.entries: List[CorpusEntry] = self._sample_entries()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries)
+
+    def build_all(self) -> Iterator[Tuple[CorpusEntry, COOMatrix]]:
+        """Yield ``(entry, matrix)`` pairs, generating lazily."""
+        for entry in self.entries:
+            yield entry, entry.build()
+
+    # -- sampling ---------------------------------------------------------
+
+    def _sample_entries(self) -> List[CorpusEntry]:
+        rng = np.random.default_rng(self.seed)
+        entries: List[CorpusEntry] = []
+        weights_cache = {}
+        idx = 0
+        for b, (lo, hi, count) in enumerate(NNZ_BINS):
+            n_here = max(1, int(round(count * self.scale)))
+            if self.max_nnz is not None and lo > self.max_nnz:
+                continue  # bin entirely above the cap
+            if b not in weights_cache:
+                w = _family_weights(b)
+                mask = np.array([f in self.families for f in _FAMILY_ORDER])
+                w = w * mask
+                weights_cache[b] = w / w.sum()
+            w = weights_cache[b]
+            for _ in range(n_here):
+                family = _FAMILY_ORDER[rng.choice(len(_FAMILY_ORDER), p=w)]
+                hi_eff = hi if self.max_nnz is None else min(hi, self.max_nnz)
+                # Log-uniform, but floor the range so the bin's *mean* nnz
+                # sits mid-bin like SuiteSparse rather than hugging the
+                # lower edge.
+                lo_eff = max(lo, hi_eff / 25.0, 4.0)
+                nnz = int(np.exp(rng.uniform(np.log(lo_eff), np.log(hi_eff))))
+                seed = int(rng.integers(0, 2**31 - 1))
+                params = self._parameterise(family, nnz, b, seed, rng)
+                entries.append(
+                    CorpusEntry(
+                        name=f"{family}_{idx:04d}",
+                        family=family,
+                        bin_index=b,
+                        target_nnz=nnz,
+                        seed=seed,
+                        params=params,
+                    )
+                )
+                idx += 1
+        return entries
+
+    def _parameterise(
+        self, family: str, nnz: int, bin_index: int, seed: int, rng: np.random.Generator
+    ) -> Dict:
+        """Choose concrete generator kwargs hitting ~nnz with Table I shape."""
+        mu = _BIN_NNZ_MU[bin_index] * float(np.exp(rng.normal(0.0, 0.4)))
+        mu = max(2.0, mu)
+        rows = max(4, int(nnz / mu))
+        # Keep density under the bin ceiling (Table I: density falls with
+        # size); widening the matrix preserves nnz while thinning it out.
+        min_rows = int(math.sqrt(nnz / _BIN_MAX_DENSITY[bin_index])) + 1
+        rows = max(rows, min_rows)
+
+        if family == "random_uniform":
+            cols = max(4, int(rows * float(np.exp(rng.normal(0.1, 0.3)))))
+            return {"m": rows, "n": cols, "nnz": nnz, "seed": seed}
+        if family == "banded":
+            bw = max(1, int(round(mu)))
+            return {"m": rows, "n": rows, "bandwidth": bw,
+                    "fill": float(rng.uniform(0.85, 1.0)), "seed": seed}
+        if family == "multi_diagonal":
+            k = max(1, int(round(mu)))
+            half = k // 2
+            offs = sorted(set(
+                [0]
+                + [int(o) for o in rng.choice(np.arange(1, max(2, rows // 2)),
+                                              size=min(half, 12), replace=False)]
+                + [-int(o) for o in rng.choice(np.arange(1, max(2, rows // 2)),
+                                               size=min(k - half - 1, 12), replace=False)]
+            )) if rows > 4 else [0]
+            return {"n": rows, "offsets": tuple(offs),
+                    "fill": float(rng.uniform(0.8, 1.0)), "seed": seed}
+        if family == "stencil_2d":
+            pts = 5 if rng.random() < 0.6 else 9
+            side = max(2, int(math.sqrt(nnz / pts)))
+            return {"nx": side, "ny": side, "points": pts, "seed": seed}
+        if family == "stencil_3d":
+            pts = 7 if rng.random() < 0.6 else 27
+            side = max(2, int(round((nnz / pts) ** (1.0 / 3.0))))
+            return {"nx": side, "ny": side, "nz": side, "points": pts, "seed": seed}
+        if family == "fem_blocks":
+            bs = int(rng.integers(6, 48))
+            nb = max(1, rows // bs)
+            fill = min(1.0, nnz / max(nb * bs * bs, 1))
+            return {"n_blocks": nb, "block_size": bs, "block_fill": max(fill, 0.02),
+                    "coupling": float(rng.uniform(0.01, 0.1)), "seed": seed}
+        if family == "power_law":
+            return {"m": rows, "n": rows, "nnz": nnz,
+                    "alpha": float(rng.uniform(1.6, 2.6)), "seed": seed}
+        if family == "rmat":
+            scale = max(3, min(26, int(round(math.log2(max(rows, 8))))))
+            ef = max(1, int(round(nnz / (1 << scale))))
+            return {"scale": scale, "edge_factor": ef, "seed": seed}
+        if family == "dense_rows":
+            cols = rows
+            n_dense = int(rng.integers(1, 6))
+            dense_part = 0.3 * nnz
+            fill = min(0.9, max(dense_part / max(n_dense * cols, 1), 0.01))
+            base = max(0.7 * nnz / max(rows * cols, 1), 1.0 / max(rows * cols, 1))
+            return {"m": rows, "n": cols, "base_density": float(base),
+                    "n_dense": n_dense, "dense_fill": float(fill), "seed": seed}
+        if family == "clustered":
+            return {"m": rows, "n": rows, "nnz": nnz,
+                    "chunk": int(rng.integers(3, 33)), "seed": seed}
+        raise KeyError(family)
+
+
+def table1_statistics(
+    corpus: SyntheticCorpus,
+    profiles: Optional[Dict[str, "object"]] = None,
+) -> List[Dict]:
+    """Compute the paper's Table I rows for a corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to summarise.
+    profiles:
+        Optional mapping ``entry.name -> MatrixProfile`` to reuse
+        existing profiles; missing entries are built and profiled here.
+
+    Returns
+    -------
+    list of dict
+        One row per nnz bin with keys ``range``, ``count``,
+        ``avg_rows``, ``avg_cols``, ``avg_density_pct``, ``avg_nnz_mu``,
+        ``avg_nnz_sigma`` (density in percent, as Table I reports it).
+    """
+    from ..gpu.profile import profile_matrix
+
+    acc: Dict[int, List] = {}
+    for entry in corpus:
+        if profiles is not None and entry.name in profiles:
+            p = profiles[entry.name]
+        else:
+            p = profile_matrix(entry.build())
+        acc.setdefault(entry.bin_index, []).append(p)
+
+    rows = []
+    for b, (lo, hi, _) in enumerate(NNZ_BINS):
+        ps = acc.get(b)
+        if not ps:
+            continue
+        rows.append(
+            {
+                "range": f"{lo:,} ~ {hi:,}",
+                "count": len(ps),
+                "avg_rows": float(np.mean([p.n_rows for p in ps])),
+                "avg_cols": float(np.mean([p.n_cols for p in ps])),
+                "avg_density_pct": float(np.mean([100.0 * p.density for p in ps])),
+                "avg_nnz_mu": float(np.mean([p.nnz_mu for p in ps])),
+                "avg_nnz_sigma": float(np.mean([p.nnz_sigma for p in ps])),
+            }
+        )
+    return rows

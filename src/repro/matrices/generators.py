@@ -1,0 +1,333 @@
+"""Synthetic sparse-matrix generators.
+
+These ten structural families are the stand-in for the SuiteSparse
+collection (DESIGN.md, "Substitutions").  Each family targets a regime
+that makes a different storage format win, which is the property the
+format-selection study depends on:
+
+===================  ======================================================
+family               structure / who tends to win
+===================  ======================================================
+``random_uniform``   unstructured Erdős–Rényi scatter; CSR/CSR5
+``banded``           contiguous diagonal band; ELL & CSR (regular rows)
+``multi_diagonal``   several offset diagonals (FD stencils); ELL
+``stencil_2d``       5/9-point Poisson grids; ELL/CSR
+``stencil_3d``       7/27-point grids; ELL/CSR
+``fem_blocks``       block-structured FEM-like coupling; CSR, good locality
+``power_law``        Zipf row lengths (graphs); HYB / merge-CSR / CSR5
+``rmat``             Kronecker-style skewed graphs; merge-CSR / CSR5
+``dense_rows``       uniform background + few dense rows; HYB
+``clustered``        contiguous non-zero chunks per row; CSR (cache-friendly)
+===================  ======================================================
+
+Every generator is deterministic in ``seed`` and returns a canonical
+:class:`~repro.formats.coo.COOMatrix`.  Values are drawn from a
+standard normal unless stated otherwise; SpMV performance does not
+depend on the values, only the structure (the paper's features are
+purely structural).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+__all__ = [
+    "random_uniform",
+    "banded",
+    "multi_diagonal",
+    "stencil_2d",
+    "stencil_3d",
+    "fem_blocks",
+    "power_law",
+    "rmat",
+    "dense_rows",
+    "clustered",
+    "GENERATOR_FAMILIES",
+]
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Non-zero values: standard normal, nudged away from exact zero."""
+    v = rng.standard_normal(n)
+    v[v == 0.0] = 1.0
+    return v
+
+
+def _coo(m: int, n: int, row, col, rng) -> COOMatrix:
+    row = np.asarray(row)
+    return COOMatrix((m, n), row, np.asarray(col), _values(rng, row.size))
+
+
+def _check_dims(m: int, n: int) -> None:
+    if m <= 0 or n <= 0:
+        raise ValueError(f"matrix dimensions must be positive, got {m}x{n}")
+
+
+# ---------------------------------------------------------------------------
+
+
+def random_uniform(m: int, n: int, *, nnz: Optional[int] = None,
+                   density: Optional[float] = None, seed: int = 0) -> COOMatrix:
+    """Unstructured uniform scatter (Erdős–Rényi).
+
+    Exactly one of ``nnz`` or ``density`` must be given.  Duplicates
+    are merged, so the realised nnz can be marginally below the target
+    for dense targets.
+    """
+    _check_dims(m, n)
+    if (nnz is None) == (density is None):
+        raise ValueError("give exactly one of nnz or density")
+    if nnz is None:
+        nnz = int(round(density * m * n))
+    nnz = min(max(nnz, 0), m * n)
+    rng = np.random.default_rng(seed)
+    if nnz > 0.25 * m * n:
+        # Dense regime: sample cell indices without replacement.
+        cells = rng.choice(m * n, size=nnz, replace=False)
+        row, col = np.divmod(cells, n)
+    else:
+        row = rng.integers(0, m, nnz)
+        col = rng.integers(0, n, nnz)
+    return _coo(m, n, row, col, rng)
+
+
+def banded(m: int, n: int, *, bandwidth: int = 5, fill: float = 1.0,
+           seed: int = 0) -> COOMatrix:
+    """Band matrix: entries within ``bandwidth`` of the (scaled) diagonal.
+
+    ``fill`` < 1 keeps each in-band cell with that probability, producing
+    the slightly ragged bands typical of structural-engineering
+    matrices.  Row lengths are near-constant: the ELL/CSR sweet spot.
+    """
+    _check_dims(m, n)
+    if bandwidth < 1:
+        raise ValueError("bandwidth must be >= 1")
+    rng = np.random.default_rng(seed)
+    half = bandwidth // 2
+    offsets = np.arange(-half, bandwidth - half)
+    scale = n / m
+    row = np.repeat(np.arange(m), offsets.size)
+    col = (row * scale).astype(np.int64) + np.tile(offsets, m)
+    keep = (col >= 0) & (col < n)
+    if fill < 1.0:
+        keep &= rng.random(col.size) < fill
+    return _coo(m, n, row[keep], col[keep], rng)
+
+
+def multi_diagonal(n: int, *, offsets: Sequence[int] = (-64, -1, 0, 1, 64),
+                   fill: float = 1.0, seed: int = 0) -> COOMatrix:
+    """Square matrix with non-zeros on the given diagonals (FD stencils)."""
+    _check_dims(n, n)
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for off in offsets:
+        r = np.arange(max(0, -off), min(n, n - off))
+        c = r + off
+        if fill < 1.0:
+            keep = rng.random(r.size) < fill
+            r, c = r[keep], c[keep]
+        rows.append(r)
+        cols.append(c)
+    row = np.concatenate(rows) if rows else np.zeros(0, np.int64)
+    col = np.concatenate(cols) if cols else np.zeros(0, np.int64)
+    return _coo(n, n, row, col, rng)
+
+
+def stencil_2d(nx: int, ny: int, *, points: int = 5, seed: int = 0) -> COOMatrix:
+    """5- or 9-point Poisson stencil on an ``nx × ny`` grid."""
+    if points not in (5, 9):
+        raise ValueError("points must be 5 or 9")
+    if nx <= 0 or ny <= 0:
+        raise ValueError("grid dimensions must be positive")
+    n = nx * ny
+    if points == 5:
+        neigh = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+    else:
+        neigh = [(di, dj) for di in (-1, 0, 1) for dj in (-1, 0, 1)]
+    ii, jj = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    ii, jj = ii.ravel(), jj.ravel()
+    rows, cols = [], []
+    for di, dj in neigh:
+        ni, nj = ii + di, jj + dj
+        ok = (ni >= 0) & (ni < nx) & (nj >= 0) & (nj < ny)
+        rows.append((ii * ny + jj)[ok])
+        cols.append((ni * ny + nj)[ok])
+    rng = np.random.default_rng(seed)
+    return _coo(n, n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+def stencil_3d(nx: int, ny: int, nz: int, *, points: int = 7, seed: int = 0) -> COOMatrix:
+    """7- or 27-point stencil on an ``nx × ny × nz`` grid."""
+    if points not in (7, 27):
+        raise ValueError("points must be 7 or 27")
+    if min(nx, ny, nz) <= 0:
+        raise ValueError("grid dimensions must be positive")
+    n = nx * ny * nz
+    if points == 7:
+        neigh = [(0, 0, 0), (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0),
+                 (0, 0, -1), (0, 0, 1)]
+    else:
+        neigh = [(a, b, c) for a in (-1, 0, 1) for b in (-1, 0, 1) for c in (-1, 0, 1)]
+    ii, jj, kk = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    ii, jj, kk = ii.ravel(), jj.ravel(), kk.ravel()
+    rows, cols = [], []
+    for di, dj, dk in neigh:
+        ni, nj, nk = ii + di, jj + dj, kk + dk
+        ok = ((ni >= 0) & (ni < nx) & (nj >= 0) & (nj < ny)
+              & (nk >= 0) & (nk < nz))
+        rows.append((ii * ny * nz + jj * nz + kk)[ok])
+        cols.append((ni * ny * nz + nj * nz + nk)[ok])
+    rng = np.random.default_rng(seed)
+    return _coo(n, n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+def fem_blocks(n_blocks: int, block_size: int, *, coupling: float = 0.05,
+               block_fill: float = 0.6, seed: int = 0) -> COOMatrix:
+    """Block-diagonal FEM-like matrix with sparse inter-block coupling.
+
+    Dense-ish diagonal blocks (``block_fill``) plus a few entries linking
+    neighbouring blocks — the classic mesh-partitioned structure with
+    excellent gather locality.
+    """
+    if n_blocks <= 0 or block_size <= 0:
+        raise ValueError("n_blocks and block_size must be positive")
+    n = n_blocks * block_size
+    rng = np.random.default_rng(seed)
+    per_block = max(1, int(block_fill * block_size * block_size))
+    b = np.repeat(np.arange(n_blocks), per_block) * block_size
+    row = b + rng.integers(0, block_size, b.size)
+    col = b + rng.integers(0, block_size, b.size)
+    if n_blocks > 1 and coupling > 0:
+        n_link = int(coupling * n_blocks * block_size) + 1
+        lb = rng.integers(0, n_blocks - 1, n_link)
+        r = lb * block_size + rng.integers(0, block_size, n_link)
+        c = (lb + 1) * block_size + rng.integers(0, block_size, n_link)
+        row = np.concatenate([row, r, c])
+        col = np.concatenate([col, c, r])
+    return _coo(n, n, row, col, rng)
+
+
+def power_law(m: int, n: int, *, nnz: int, alpha: float = 2.0,
+              seed: int = 0) -> COOMatrix:
+    """Zipf-distributed row lengths with uniform columns (web/social graphs).
+
+    Row weights follow ``rank**-(alpha - 1)``: *larger* ``alpha`` gives
+    heavier tails (a few rows holding a large share of nnz) — the
+    regime where ELL explodes and CSR load-balances poorly.
+    """
+    _check_dims(m, n)
+    if nnz <= 0:
+        raise ValueError("nnz must be positive")
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a normalisable tail")
+    rng = np.random.default_rng(seed)
+    ranks = rng.permutation(m)  # heavy rows scattered, not clustered
+    weights = 1.0 / (ranks + 1.0) ** (alpha - 1.0)
+    weights /= weights.sum()
+    lengths = rng.multinomial(nnz, weights)
+    np.minimum(lengths, n, out=lengths)
+    row = np.repeat(np.arange(m), lengths)
+    col = rng.integers(0, n, row.size)
+    return _coo(m, n, row, col, rng)
+
+
+def rmat(scale: int, *, edge_factor: int = 8,
+         probs: Sequence[float] = (0.57, 0.19, 0.19, 0.05),
+         seed: int = 0) -> COOMatrix:
+    """R-MAT / Kronecker-style graph adjacency matrix (2^scale vertices).
+
+    Recursive quadrant sampling with the Graph500 default probabilities;
+    produces the doubly skewed degree distributions of real networks.
+    """
+    if scale <= 0 or scale > 26:
+        raise ValueError("scale must be in 1..26")
+    a, b, c, d = probs
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("quadrant probabilities must sum to 1")
+    n = 1 << scale
+    n_edges = edge_factor * n
+    rng = np.random.default_rng(seed)
+    row = np.zeros(n_edges, dtype=np.int64)
+    col = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale):
+        # Choose the quadrant at this recursion level for every edge:
+        # (top-left, top-right, bottom-left, bottom-right) w.p. (a, b, c, d).
+        q = rng.random(n_edges)
+        down = q >= a + b
+        right = np.where(down, q >= a + b + c, q >= a)
+        row |= down.astype(np.int64) << bit
+        col |= right.astype(np.int64) << bit
+    return _coo(n, n, row, col, rng)
+
+
+def dense_rows(m: int, n: int, *, base_density: float = 0.001,
+               n_dense: int = 3, dense_fill: float = 0.5, seed: int = 0) -> COOMatrix:
+    """Row-regular sparse background plus a few nearly dense rows.
+
+    The canonical HYB case: every background row holds exactly ``k``
+    entries (so the ELL part of HYB is padding-free), while the dense
+    rows spill to the COO part.
+    """
+    _check_dims(m, n)
+    if not 0 <= n_dense <= m:
+        raise ValueError("n_dense must be in [0, rows]")
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(base_density * n)))
+    row = np.repeat(np.arange(m), k)
+    col = rng.integers(0, n, row.size)
+    if n_dense:
+        dr = rng.choice(m, size=n_dense, replace=False)
+        per = max(1, int(dense_fill * n))
+        drow = np.repeat(dr, per)
+        dcol = rng.integers(0, n, drow.size)
+        row = np.concatenate([row, drow])
+        col = np.concatenate([col, dcol])
+    return _coo(m, n, row, col, rng)
+
+
+def clustered(m: int, n: int, *, nnz: int, chunk: int = 8, seed: int = 0) -> COOMatrix:
+    """Contiguous chunks of non-zeros within rows (great cache locality).
+
+    Non-zeros come in runs of ~``chunk`` consecutive columns, the
+    structure feature set 3 (``snzb_*`` / ``nnzb_*``) is designed to
+    detect.
+    """
+    _check_dims(m, n)
+    if nnz <= 0 or chunk <= 0:
+        raise ValueError("nnz and chunk must be positive")
+    rng = np.random.default_rng(seed)
+    n_chunks = max(1, nnz // chunk)
+    crow = rng.integers(0, m, n_chunks)
+    cstart = rng.integers(0, n, n_chunks)
+    sizes = np.clip(rng.poisson(chunk, n_chunks), 1, None)
+    row = np.repeat(crow, sizes)
+    col = np.repeat(cstart, sizes) + _ramp(sizes)
+    keep = col < n
+    return _coo(m, n, row[keep], col[keep], rng)
+
+
+def _ramp(sizes: np.ndarray) -> np.ndarray:
+    """Concatenated 0..size-1 ramps for chunk expansion."""
+    total = int(sizes.sum())
+    starts = np.zeros(sizes.size, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, sizes)
+
+
+#: Registry used by the corpus sampler: name -> generator callable.
+GENERATOR_FAMILIES = {
+    "random_uniform": random_uniform,
+    "banded": banded,
+    "multi_diagonal": multi_diagonal,
+    "stencil_2d": stencil_2d,
+    "stencil_3d": stencil_3d,
+    "fem_blocks": fem_blocks,
+    "power_law": power_law,
+    "rmat": rmat,
+    "dense_rows": dense_rows,
+    "clustered": clustered,
+}

@@ -1,0 +1,91 @@
+"""Pure-numpy machine-learning stack (paper Sec. II-B).
+
+Implements, from scratch, every model class the paper evaluates:
+
+* :class:`~repro.ml.tree.DecisionTreeClassifier` /
+  :class:`~repro.ml.tree.DecisionTreeRegressor` — CART (Sec. II-B.1),
+* :class:`~repro.ml.svm.SVC` / :class:`~repro.ml.svm.SVR` — kernel SVM
+  via SMO (Sec. II-B.2),
+* :class:`~repro.ml.mlp.MLPClassifier` /
+  :class:`~repro.ml.mlp.MLPRegressor` and their ensembles
+  (Sec. II-B.3 / Sec. VI),
+* :class:`~repro.ml.boosting.GradientBoostingClassifier` /
+  :class:`~repro.ml.boosting.GradientBoostingRegressor` — XGBoost-style
+  second-order boosting (Sec. II-B.4),
+
+plus preprocessing, metrics (accuracy, the paper's RME, slowdown
+histograms) and model selection (k-fold CV, 80/20 splits, GridSearchCV).
+"""
+
+from .base import BaseEstimator, NotFittedError, check_X, check_X_y, clone  # noqa: F401
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor  # noqa: F401
+from .cnn import SimpleCNNClassifier  # noqa: F401
+from .forest import RandomForestClassifier, RandomForestRegressor  # noqa: F401
+from .metrics import (  # noqa: F401
+    SLOWDOWN_THRESHOLDS,
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    relative_mean_error,
+    slowdown_factors,
+    slowdown_histogram,
+)
+from .mlp import (  # noqa: F401
+    MLPClassifier,
+    MLPEnsembleClassifier,
+    MLPEnsembleRegressor,
+    MLPRegressor,
+)
+from .model_selection import (  # noqa: F401
+    GridSearchCV,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from .preprocessing import LabelEncoder, Log1pTransformer, Pipeline, StandardScaler  # noqa: F401
+from .svm import SVC, SVR, linear_kernel, rbf_kernel  # noqa: F401
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor  # noqa: F401
+
+__all__ = [
+    "BaseEstimator",
+    "NotFittedError",
+    "clone",
+    "check_X",
+    "check_X_y",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "SimpleCNNClassifier",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "SVC",
+    "SVR",
+    "rbf_kernel",
+    "linear_kernel",
+    "MLPClassifier",
+    "MLPRegressor",
+    "MLPEnsembleClassifier",
+    "MLPEnsembleRegressor",
+    "StandardScaler",
+    "Log1pTransformer",
+    "LabelEncoder",
+    "Pipeline",
+    "KFold",
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_val_score",
+    "GridSearchCV",
+    "accuracy_score",
+    "confusion_matrix",
+    "relative_mean_error",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "slowdown_factors",
+    "slowdown_histogram",
+    "SLOWDOWN_THRESHOLDS",
+]

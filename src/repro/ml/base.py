@@ -1,0 +1,89 @@
+"""Estimator base machinery for the pure-numpy ML stack.
+
+A deliberately small re-implementation of the scikit-learn estimator
+protocol — ``get_params`` / ``set_params`` / ``clone`` — sufficient for
+the cross-validation and grid-search drivers in
+:mod:`repro.ml.model_selection`.  Hyper-parameters are, by convention,
+exactly the keyword arguments of ``__init__``; fitted state lives in
+attributes with a trailing underscore.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BaseEstimator", "clone", "check_X", "check_X_y", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/transform is called before fit."""
+
+
+def check_X(X: np.ndarray) -> np.ndarray:
+    """Validate a 2-D, finite feature matrix and return it as float64."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D (n_samples, n_features), got ndim={X.ndim}")
+    if X.size and not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinity")
+    return X
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate an (X, y) training pair with matching first dimension."""
+    X = check_X(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got ndim={y.ndim}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    return X, y
+
+
+class BaseEstimator:
+    """Minimal estimator protocol: introspectable hyper-parameters."""
+
+    @classmethod
+    def _param_names(cls) -> Tuple[str, ...]:
+        sig = inspect.signature(cls.__init__)
+        return tuple(
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+        )
+
+    def get_params(self) -> Dict[str, Any]:
+        """Hyper-parameters as a dict (constructor keyword arguments)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters in place; unknown names raise ValueError."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _require_fitted(self, *attrs: str) -> None:
+        for attr in attrs:
+            if not hasattr(self, attr):
+                raise NotFittedError(
+                    f"{type(self).__name__} is not fitted (missing {attr!r}); "
+                    "call fit() first"
+                )
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """A fresh, unfitted estimator with identical hyper-parameters."""
+    return type(estimator)(**estimator.get_params())

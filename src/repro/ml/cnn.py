@@ -1,0 +1,218 @@
+"""A compact convolutional network for sparsity-image classification.
+
+Reproduces the *comparator* from the paper's related work (Zhao et al.,
+PPoPP 2018): matrices are rendered as fixed-size density images
+(:func:`repro.features.image.density_image`) and classified by a CNN.
+The paper's conclusion contrasts its cheap feature-based models with
+this approach — similar accuracy, much higher inference cost — and the
+``benchmarks/test_ablation_cnn_selector.py`` bench measures exactly
+that trade-off on this reproduction.
+
+Architecture (for a ``size × size`` single-channel input):
+
+    conv 3x3 (f1 filters) → ReLU → 2x2 max-pool
+    conv 3x3 (f2 filters) → ReLU → 2x2 max-pool
+    flatten → dense (hidden) → ReLU → dense (classes) → softmax
+
+Implemented in pure numpy: convolutions run via im2col +
+matrix-multiply (the standard vectorisation), Adam optimiser,
+cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator
+from .mlp import _AdamState
+
+__all__ = ["SimpleCNNClassifier"]
+
+
+def _im2col(x: np.ndarray, k: int) -> np.ndarray:
+    """Extract all k×k patches: (n, h, w, c) → (n, h-k+1, w-k+1, k*k*c).
+
+    Uses stride tricks, so no data is copied until the final reshape.
+    """
+    n, h, w, c = x.shape
+    oh, ow = h - k + 1, w - k + 1
+    s = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, k, k, c),
+        strides=(s[0], s[1], s[2], s[1], s[2], s[3]),
+        writeable=False,
+    )
+    return patches.reshape(n, oh, ow, k * k * c)
+
+
+def _maxpool2(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """2×2 max pooling; returns (pooled, argmax mask) for backprop."""
+    n, h, w, c = x.shape
+    h2, w2 = h // 2, w // 2
+    x = x[:, : h2 * 2, : w2 * 2, :]
+    windows = x.reshape(n, h2, 2, w2, 2, c)
+    pooled = windows.max(axis=(2, 4))
+    mask = windows == pooled[:, :, None, :, None, :]
+    return pooled, mask
+
+
+def _unpool2(grad: np.ndarray, mask: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Scatter pooled gradients back through the argmax mask."""
+    n, h2, _, w2, _, c = mask.shape
+    up = mask * grad[:, :, None, :, None, :]
+    out = np.zeros(shape)
+    out[:, : h2 * 2, : w2 * 2, :] = up.reshape(n, h2 * 2, w2 * 2, c)
+    return out
+
+
+class SimpleCNNClassifier(BaseEstimator):
+    """Two-block CNN classifier over single-channel square images.
+
+    Parameters
+    ----------
+    filters:
+        Channel counts of the two conv blocks.
+    hidden:
+        Width of the dense layer before the softmax.
+    learning_rate, batch_size, n_epochs, l2, seed:
+        The usual Adam/SGD knobs.
+    """
+
+    def __init__(
+        self,
+        filters: Tuple[int, int] = (8, 16),
+        hidden: int = 64,
+        learning_rate: float = 1e-3,
+        batch_size: int = 16,
+        n_epochs: int = 30,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        self.filters = tuple(filters)
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.n_epochs = n_epochs
+        self.l2 = l2
+        self.seed = seed
+
+    # -- core ------------------------------------------------------------
+
+    def _init(self, size: int, n_classes: int, rng: np.random.Generator) -> None:
+        f1, f2 = self.filters
+        k = 3
+        self.W1_ = rng.standard_normal((k * k * 1, f1)) * np.sqrt(2.0 / (k * k))
+        self.b1_ = np.zeros(f1)
+        self.W2_ = rng.standard_normal((k * k * f1, f2)) * np.sqrt(2.0 / (k * k * f1))
+        self.b2_ = np.zeros(f2)
+        # Spatial dimensions after two (conv3 valid + pool2) blocks.
+        s1 = (size - 2) // 2
+        s2 = (s1 - 2) // 2
+        if s2 < 1:
+            raise ValueError(f"image size {size} too small for two conv blocks")
+        self._flat = s2 * s2 * f2
+        self.W3_ = rng.standard_normal((self._flat, self.hidden)) * np.sqrt(
+            2.0 / self._flat
+        )
+        self.b3_ = np.zeros(self.hidden)
+        self.W4_ = rng.standard_normal((self.hidden, n_classes)) * np.sqrt(
+            2.0 / self.hidden
+        )
+        self.b4_ = np.zeros(n_classes)
+
+    def _forward(self, x: np.ndarray, train: bool = False):
+        """x: (n, size, size) → logits; caches intermediates when training."""
+        x = x[..., None]  # channel dim
+        col1 = _im2col(x, 3)
+        z1 = col1 @ self.W1_ + self.b1_
+        a1 = np.maximum(z1, 0.0)
+        p1, m1 = _maxpool2(a1)
+        col2 = _im2col(p1, 3)
+        z2 = col2 @ self.W2_ + self.b2_
+        a2 = np.maximum(z2, 0.0)
+        p2, m2 = _maxpool2(a2)
+        flat = p2.reshape(p2.shape[0], -1)
+        z3 = flat @ self.W3_ + self.b3_
+        a3 = np.maximum(z3, 0.0)
+        logits = a3 @ self.W4_ + self.b4_
+        if train:
+            self._cache = (x, col1, z1, a1, p1, m1, col2, z2, a2, p2, m2, flat, z3, a3)
+        return logits
+
+    def _backward(self, dlogits: np.ndarray) -> List[np.ndarray]:
+        (x, col1, z1, a1, p1, m1, col2, z2, a2, p2, m2, flat, z3, a3) = self._cache
+        gW4 = a3.T @ dlogits + self.l2 * self.W4_
+        gb4 = dlogits.sum(axis=0)
+        da3 = (dlogits @ self.W4_.T) * (z3 > 0)
+        gW3 = flat.T @ da3 + self.l2 * self.W3_
+        gb3 = da3.sum(axis=0)
+        dflat = da3 @ self.W3_.T
+        dp2 = dflat.reshape(p2.shape)
+        da2 = _unpool2(dp2, m2, a2.shape) * (z2 > 0)
+        n, oh, ow, _ = da2.shape
+        da2_2d = da2.reshape(-1, da2.shape[-1])
+        gW2 = col2.reshape(-1, col2.shape[-1]).T @ da2_2d + self.l2 * self.W2_
+        gb2 = da2_2d.sum(axis=0)
+        # Gradient into p1 via transposed im2col (scatter-add of patches).
+        dcol2 = (da2_2d @ self.W2_.T).reshape(n, oh, ow, 3, 3, p1.shape[-1])
+        dp1 = np.zeros_like(p1)
+        for di in range(3):
+            for dj in range(3):
+                dp1[:, di : di + oh, dj : dj + ow, :] += dcol2[:, :, :, di, dj, :]
+        da1 = _unpool2(dp1, m1, a1.shape) * (z1 > 0)
+        da1_2d = da1.reshape(-1, da1.shape[-1])
+        gW1 = col1.reshape(-1, col1.shape[-1]).T @ da1_2d + self.l2 * self.W1_
+        gb1 = da1_2d.sum(axis=0)
+        return [gW1, gW2, gW3, gW4, gb1, gb2, gb3, gb4]
+
+    # -- API -----------------------------------------------------------------
+
+    def fit(self, images: np.ndarray, y: np.ndarray) -> "SimpleCNNClassifier":
+        images = np.asarray(images, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if images.ndim != 3 or images.shape[1] != images.shape[2]:
+            raise ValueError("images must be (n, size, size)")
+        if images.shape[0] != y.shape[0]:
+            raise ValueError("images and labels disagree on sample count")
+        if y.min() < 0:
+            raise ValueError("class labels must be non-negative integers")
+        self.n_classes_ = int(y.max()) + 1
+        self.size_ = images.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._init(self.size_, self.n_classes_, rng)
+        params = [self.W1_, self.W2_, self.W3_, self.W4_,
+                  self.b1_, self.b2_, self.b3_, self.b4_]
+        adam = _AdamState([p.shape for p in params])
+        onehot = np.zeros((y.size, self.n_classes_))
+        onehot[np.arange(y.size), y] = 1.0
+        n = y.size
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                logits = self._forward(images[idx], train=True)
+                z = logits - logits.max(axis=1, keepdims=True)
+                p = np.exp(z)
+                p /= p.sum(axis=1, keepdims=True)
+                dlogits = (p - onehot[idx]) / idx.size
+                grads = self._backward(dlogits)
+                adam.step(params, grads, self.learning_rate)
+        return self
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        self._require_fitted("W1_")
+        images = np.asarray(images, dtype=np.float64)
+        if images.shape[1:] != (self.size_, self.size_):
+            raise ValueError(
+                f"images must be (n, {self.size_}, {self.size_}), got {images.shape}"
+            )
+        logits = self._forward(images)
+        z = logits - logits.max(axis=1, keepdims=True)
+        p = np.exp(z)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(images), axis=1)

@@ -1,0 +1,138 @@
+"""Evaluation metrics used throughout the paper.
+
+Classification: accuracy and confusion matrices (Tables IV–X).
+Regression: the paper's relative mean error
+
+    RME = (1/n) Σ |pred_i − measured_i| / measured_i
+
+(Sec. VI) plus standard MSE/MAE/R².  Slowdown analysis — the
+performance penalty of a mispredicted format (Tables XI–XIII) — lives
+here too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "relative_mean_error",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "slowdown_factors",
+    "slowdown_histogram",
+    "SLOWDOWN_THRESHOLDS",
+]
+
+
+def _check_pair(a, b):
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"inputs must be equal-length 1-D arrays, got {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return a, b
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int) -> np.ndarray:
+    """``C[i, j]`` = samples with true class ``i`` predicted as ``j``."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    c = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(c, (y_true.astype(np.int64), y_pred.astype(np.int64)), 1)
+    return c
+
+
+def relative_mean_error(measured, predicted) -> float:
+    """The paper's RME: mean of ``|pred − measured| / measured``.
+
+    Expressed as a fraction (0.10 = the paper's "10 %").  ``measured``
+    must be strictly positive (execution times are).
+    """
+    measured, predicted = _check_pair(measured, predicted)
+    if np.any(measured <= 0):
+        raise ValueError("measured values must be strictly positive for RME")
+    return float(np.mean(np.abs(predicted - measured) / measured))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 − SSE/SST)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    sst = float(np.sum((y_true - y_true.mean()) ** 2))
+    sse = float(np.sum((y_true - y_pred) ** 2))
+    if sst == 0.0:
+        return 1.0 if sse == 0.0 else 0.0
+    return 1.0 - sse / sst
+
+
+# ---------------------------------------------------------------------------
+# Misprediction slowdown analysis (Tables XI–XIII)
+# ---------------------------------------------------------------------------
+
+#: The paper's slowdown histogram thresholds.
+SLOWDOWN_THRESHOLDS = (1.0, 1.2, 1.5, 2.0)
+
+
+def slowdown_factors(times: np.ndarray, best_idx, pred_idx) -> np.ndarray:
+    """Per-sample slowdown ``t[predicted] / t[best]`` (≥ 1).
+
+    Parameters
+    ----------
+    times:
+        ``(n_samples, n_formats)`` measured execution times.
+    best_idx, pred_idx:
+        True-best and predicted format indices per sample.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    best_idx = np.asarray(best_idx, dtype=np.int64)
+    pred_idx = np.asarray(pred_idx, dtype=np.int64)
+    if times.ndim != 2:
+        raise ValueError("times must be (n_samples, n_formats)")
+    if not (times.shape[0] == best_idx.size == pred_idx.size):
+        raise ValueError("sample-count mismatch")
+    rows = np.arange(times.shape[0])
+    t_best = times[rows, best_idx]
+    t_pred = times[rows, pred_idx]
+    if np.any(t_best <= 0):
+        raise ValueError("best-format times must be positive")
+    return t_pred / t_best
+
+
+def slowdown_histogram(slowdowns: np.ndarray, *, tol: float = 1e-9) -> Dict[str, int]:
+    """Bucket slowdowns the way Tables XI–XIII report them.
+
+    Returns counts for: ``no_slowdown`` (== 1 within tolerance),
+    ``gt_1x`` (> 1, cumulative), ``ge_1.2x``, ``ge_1.5x``, ``ge_2.0x``.
+    """
+    s = np.asarray(slowdowns, dtype=np.float64)
+    if s.size and s.min() < 1.0 - 1e-6:
+        raise ValueError("slowdowns must be >= 1")
+    return {
+        "no_slowdown": int(np.sum(s <= 1.0 + tol)),
+        "gt_1x": int(np.sum(s > 1.0 + tol)),
+        "ge_1.2x": int(np.sum(s >= 1.2)),
+        "ge_1.5x": int(np.sum(s >= 1.5)),
+        "ge_2.0x": int(np.sum(s >= 2.0)),
+    }

@@ -1,0 +1,184 @@
+"""Data splitting, k-fold cross-validation and exhaustive grid search.
+
+Implements the paper's evaluation protocol (Sec. IV-B): 80/20
+train-test splits, 5-fold cross-validation, and ``GridSearchCV``-style
+exhaustive hyper-parameter search (the paper tunes XGBoost and SVM this
+way, Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator, check_X_y, clone
+from .metrics import accuracy_score
+
+__all__ = ["train_test_split", "KFold", "StratifiedKFold", "cross_val_score", "GridSearchCV"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_size: float = 0.2,
+    seed: int = 0,
+    stratify: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test (the paper's 80-20 protocol).
+
+    With ``stratify=True`` the class proportions of ``y`` are preserved
+    in both halves (requires at least one sample per class in each).
+    """
+    X, y = check_X_y(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx: List[int] = []
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            rng.shuffle(members)
+            k = max(1, int(round(test_size * members.size))) if members.size > 1 else 0
+            test_idx.extend(members[:k])
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Shuffled k-fold splitter with disjoint, exhaustive folds."""
+
+    def __init__(self, n_splits: int = 5, *, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = int(n_splits)
+        self.seed = int(seed)
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = np.sort(folds[i])
+            train = np.sort(np.concatenate([folds[j] for j in range(self.n_splits) if j != i]))
+            yield train, test
+
+
+class StratifiedKFold(KFold):
+    """K-fold that balances class proportions across folds."""
+
+    def split_labels(self, y: np.ndarray) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` with per-class round-robin folds."""
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        assignment = np.zeros(y.shape[0], dtype=np.int64)
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            rng.shuffle(members)
+            assignment[members] = np.arange(members.size) % self.n_splits
+        for i in range(self.n_splits):
+            test = np.flatnonzero(assignment == i)
+            if test.size == 0:
+                continue
+            train = np.flatnonzero(assignment != i)
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    cv: int = 5,
+    seed: int = 0,
+    scorer: Optional[Callable] = None,
+) -> np.ndarray:
+    """Per-fold test scores (default scorer: accuracy).
+
+    The estimator is cloned per fold, so the input instance is never
+    mutated.
+    """
+    X, y = check_X_y(X, y)
+    scorer = scorer or (lambda est, Xt, yt: accuracy_score(yt, est.predict(Xt)))
+    scores = []
+    for train, test in KFold(cv, seed=seed).split(X.shape[0]):
+        est = clone(estimator)
+        est.fit(X[train], y[train])
+        scores.append(scorer(est, X[test], y[test]))
+    return np.array(scores)
+
+
+@dataclass
+class GridSearchCV:
+    """Exhaustive hyper-parameter search with k-fold validation.
+
+    Mirrors the paper's use of scikit-learn's ``GridSearchCV`` to tune
+    XGBoost (n_estimators / max_depth / learning_rate) and SVM
+    (C / gamma), Sec. IV-D.
+
+    Parameters
+    ----------
+    estimator:
+        Template estimator (cloned for every fit).
+    param_grid:
+        Mapping name → candidate values; the search covers the full
+        Cartesian product.
+    cv:
+        Number of folds.
+    scorer:
+        ``scorer(fitted_est, X_test, y_test) -> float`` (higher is
+        better).  Defaults to accuracy.
+    seed:
+        Fold-shuffling seed.
+    """
+
+    estimator: BaseEstimator
+    param_grid: Dict[str, Sequence]
+    cv: int = 5
+    scorer: Optional[Callable] = None
+    seed: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X, y = check_X_y(X, y)
+        if not self.param_grid:
+            raise ValueError("param_grid must not be empty")
+        names = list(self.param_grid)
+        self.results_: List[Dict] = []
+        best_score = -np.inf
+        for combo in itertools.product(*(self.param_grid[n] for n in names)):
+            params = dict(zip(names, combo))
+            est = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(
+                est, X, y, cv=self.cv, seed=self.seed, scorer=self.scorer
+            )
+            mean = float(scores.mean())
+            self.results_.append({"params": params, "mean_score": mean,
+                                  "fold_scores": scores})
+            if mean > best_score:
+                best_score = mean
+                self.best_params_ = params
+                self.best_score_ = mean
+        # Refit on the full data with the winning configuration.
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "best_estimator_"):
+            raise RuntimeError("GridSearchCV is not fitted")
+        return self.best_estimator_.predict(X)

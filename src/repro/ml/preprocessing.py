@@ -1,0 +1,151 @@
+"""Feature preprocessing: scaling, log-compression, label encoding.
+
+The paper's features span ten decades (``nnz_tot`` from 3 to 96M), so
+both the SVM and the MLP need the standard pipeline: log-compress the
+heavy-tailed counts, then standardise.  XGBoost-style trees are
+scale-invariant and can consume the raw features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import BaseEstimator, check_X
+
+__all__ = ["StandardScaler", "Log1pTransformer", "LabelEncoder", "Pipeline"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features get unit scale so transforming them is a no-op
+    rather than a division by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X: np.ndarray, y: Optional[np.ndarray] = None) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("mean_", "scale_")
+        X = check_X(X)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("mean_", "scale_")
+        return np.asarray(X) * self.scale_ + self.mean_
+
+    def fit_transform(self, X: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+class Log1pTransformer(BaseEstimator):
+    """Apply ``log1p`` to (selected) non-negative heavy-tailed columns.
+
+    Parameters
+    ----------
+    columns:
+        Indices to transform; ``None`` transforms every column.
+        Negative inputs are clipped to 0 first (the paper's features
+        are all non-negative).
+    """
+
+    def __init__(self, columns: Optional[Sequence[int]] = None) -> None:
+        self.columns = columns
+
+    def fit(self, X: np.ndarray, y: Optional[np.ndarray] = None) -> "Log1pTransformer":
+        X = check_X(X)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("n_features_")
+        X = check_X(X).copy()
+        cols = range(X.shape[1]) if self.columns is None else self.columns
+        for c in cols:
+            X[:, c] = np.log1p(np.maximum(X[:, c], 0.0))
+        return X
+
+    def fit_transform(self, X: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+class LabelEncoder(BaseEstimator):
+    """Map arbitrary hashable labels to contiguous integers 0..K-1."""
+
+    def fit(self, y: Sequence) -> "LabelEncoder":
+        self.classes_ = np.array(sorted(set(y)))
+        self._index = {c: i for i, c in enumerate(self.classes_)}
+        return self
+
+    def transform(self, y: Sequence) -> np.ndarray:
+        self._require_fitted("classes_")
+        try:
+            return np.array([self._index[v] for v in y], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, y: Sequence) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, idx: np.ndarray) -> np.ndarray:
+        self._require_fitted("classes_")
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.classes_.size):
+            raise ValueError("encoded label out of range")
+        return self.classes_[idx]
+
+
+class Pipeline(BaseEstimator):
+    """Chain transformers with a final estimator.
+
+    ``steps`` is a list of ``(name, estimator)`` pairs; every step but
+    the last must provide ``fit_transform``/``transform``, the last must
+    provide ``fit``/``predict``.
+    """
+
+    def __init__(self, steps) -> None:
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        self.steps = steps
+
+    def get_params(self):
+        # Cloning a pipeline must not share (possibly fitted) step
+        # instances between the clone and the original.
+        from .base import clone as _clone
+
+        return {"steps": [(name, _clone(est)) for name, est in self.steps]}
+
+    @property
+    def _final(self):
+        return self.steps[-1][1]
+
+    def fit(self, X: np.ndarray, y: Optional[np.ndarray] = None) -> "Pipeline":
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y)
+        self._final.fit(X, y)
+        return self
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        for _, step in self.steps[:-1]:
+            X = step.transform(X)
+        return X
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._final.predict(self._transform(X))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._final.predict_proba(self._transform(X))

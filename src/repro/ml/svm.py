@@ -1,0 +1,302 @@
+"""Support Vector Machines: kernel SVC (SMO) and a kernel SVR.
+
+The paper evaluates a multiclass SVM with RBF kernel tuned over
+``C ∈ {100, 1000, 10000}`` and ``gamma ∈ {.1, .01, .001}``
+(Sec. IV-D, following Benatia et al.).  :class:`SVC` reproduces that
+model: a binary soft-margin SVM trained with simplified SMO (Platt's
+working-set heuristic with an error cache), lifted to multiclass by
+one-vs-one voting.
+
+:class:`SVR` (epsilon-insensitive regression) uses a Pegasos-style
+kernelised subgradient solver — lighter than full SMO but with the
+same hypothesis class — and exists for the performance-modeling
+comparisons (Benatia et al. 2016 use SVR there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+__all__ = ["SVC", "SVR", "rbf_kernel", "linear_kernel"]
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
+    """Gaussian kernel matrix ``exp(-gamma ||a - b||^2)``."""
+    a2 = np.sum(A * A, axis=1)[:, None]
+    b2 = np.sum(B * B, axis=1)[None, :]
+    d2 = np.maximum(a2 + b2 - 2.0 * (A @ B.T), 0.0)
+    return np.exp(-gamma * d2)
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray, gamma: float = 0.0) -> np.ndarray:
+    """Plain inner-product kernel (gamma ignored)."""
+    return A @ B.T
+
+
+_KERNELS = {"rbf": rbf_kernel, "linear": linear_kernel}
+
+
+def _smo_binary(
+    K: np.ndarray,
+    y: np.ndarray,
+    C: float,
+    tol: float,
+    max_passes: int,
+    max_iter: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, float]:
+    """Simplified SMO on a precomputed kernel matrix.
+
+    ``y`` must be ±1.  Returns ``(alpha, b)``.  The working-set choice
+    is Platt's second heuristic: pick the partner maximising the error
+    gap, falling back to a random index.
+    """
+    n = y.size
+    alpha = np.zeros(n)
+    b = 0.0
+    # Error cache: E_i = f(x_i) - y_i, with f = K (alpha*y) + b.
+    errors = -y.astype(np.float64)
+    passes = 0
+    it = 0
+    while passes < max_passes and it < max_iter:
+        changed = 0
+        for i in range(n):
+            Ei = errors[i]
+            if not (
+                (y[i] * Ei < -tol and alpha[i] < C)
+                or (y[i] * Ei > tol and alpha[i] > 0)
+            ):
+                continue
+            gaps = np.abs(errors - Ei)
+            gaps[i] = -1.0
+            j = int(np.argmax(gaps))
+            if gaps[j] <= 0:
+                j = int(rng.integers(0, n - 1))
+                j += j >= i
+            Ej = errors[j]
+            ai_old, aj_old = alpha[i], alpha[j]
+            if y[i] != y[j]:
+                L, H = max(0.0, aj_old - ai_old), min(C, C + aj_old - ai_old)
+            else:
+                L, H = max(0.0, ai_old + aj_old - C), min(C, ai_old + aj_old)
+            if H - L < 1e-12:
+                continue
+            eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+            if eta >= 0:
+                continue
+            aj = np.clip(aj_old - y[j] * (Ei - Ej) / eta, L, H)
+            if abs(aj - aj_old) < 1e-7 * (aj + aj_old + 1e-7):
+                continue
+            ai = ai_old + y[i] * y[j] * (aj_old - aj)
+            alpha[i], alpha[j] = ai, aj
+            # Bias update (Platt's rules).
+            b1 = b - Ei - y[i] * (ai - ai_old) * K[i, i] - y[j] * (aj - aj_old) * K[i, j]
+            b2 = b - Ej - y[i] * (ai - ai_old) * K[i, j] - y[j] * (aj - aj_old) * K[j, j]
+            if 0 < ai < C:
+                b_new = b1
+            elif 0 < aj < C:
+                b_new = b2
+            else:
+                b_new = 0.5 * (b1 + b2)
+            # Incremental error-cache refresh.
+            errors += (
+                y[i] * (ai - ai_old) * K[i]
+                + y[j] * (aj - aj_old) * K[j]
+                + (b_new - b)
+            )
+            b = b_new
+            changed += 1
+        it += 1
+        passes = passes + 1 if changed == 0 else 0
+    return alpha, b
+
+
+class SVC(BaseEstimator):
+    """Soft-margin kernel SVM classifier (one-vs-one multiclass).
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty (larger = fit training data harder).
+    kernel:
+        ``"rbf"`` or ``"linear"``.
+    gamma:
+        RBF width; ``"scale"`` uses ``1 / (n_features * X.var())``.
+    tol:
+        KKT violation tolerance of the SMO solver.
+    max_passes:
+        SMO stops after this many full passes without a change.
+    max_iter:
+        Hard iteration cap (each iteration is one pass over samples).
+    seed:
+        Seed of the random working-set fallback.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma="scale",
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 60,
+        seed: int = 0,
+    ) -> None:
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.seed = seed
+
+    def _gamma_value(self, X: np.ndarray) -> float:
+        if self.gamma == "scale":
+            var = X.var()
+            return 1.0 / (X.shape[1] * var) if var > 0 else 1.0
+        return float(self.gamma)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVC":
+        if self.C <= 0:
+            raise ValueError("C must be positive")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        X, y = check_X_y(X, y)
+        y = y.astype(np.int64)
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("SVC needs at least two classes")
+        self.gamma_ = self._gamma_value(X)
+        rng = np.random.default_rng(self.seed)
+        kern = _KERNELS[self.kernel]
+
+        # One-vs-one: train a binary machine per class pair on the
+        # samples of those two classes only.
+        self._machines: List[Dict] = []
+        for a_i in range(self.classes_.size):
+            for b_i in range(a_i + 1, self.classes_.size):
+                ca, cb = self.classes_[a_i], self.classes_[b_i]
+                mask = (y == ca) | (y == cb)
+                Xp = X[mask]
+                yp = np.where(y[mask] == ca, 1.0, -1.0)
+                K = kern(Xp, Xp, self.gamma_)
+                alpha, bias = _smo_binary(
+                    K, yp, self.C, self.tol, self.max_passes, self.max_iter, rng
+                )
+                sv = alpha > 1e-10
+                self._machines.append(
+                    {
+                        "pair": (ca, cb),
+                        "X": Xp[sv],
+                        "coef": (alpha * yp)[sv],
+                        "b": bias,
+                    }
+                )
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Pairwise decision values, ``(n_samples, n_pairs)``."""
+        self._require_fitted("_machines")
+        X = check_X(X)
+        kern = _KERNELS[self.kernel]
+        cols = []
+        for m in self._machines:
+            if m["X"].shape[0] == 0:
+                cols.append(np.zeros(X.shape[0]))
+                continue
+            Kx = kern(X, m["X"], self.gamma_)
+            cols.append(Kx @ m["coef"] + m["b"])
+        return np.column_stack(cols)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """One-vs-one majority vote; ties broken by summed margins."""
+        self._require_fitted("_machines")
+        X = check_X(X)
+        n = X.shape[0]
+        K = self.classes_.size
+        votes = np.zeros((n, K))
+        margins = np.zeros((n, K))
+        dec = self.decision_function(X)
+        for col, m in enumerate(self._machines):
+            ca, cb = m["pair"]
+            ia = int(np.searchsorted(self.classes_, ca))
+            ib = int(np.searchsorted(self.classes_, cb))
+            d = dec[:, col]
+            win_a = d >= 0
+            votes[win_a, ia] += 1
+            votes[~win_a, ib] += 1
+            margins[:, ia] += d
+            margins[:, ib] -= d
+        # Lexicographic argmax on (votes, margins).
+        score = votes + 1e-9 * np.tanh(margins)
+        return self.classes_[np.argmax(score, axis=1)]
+
+
+class SVR(BaseEstimator):
+    """Epsilon-insensitive kernel regression (Pegasos-style solver).
+
+    Minimises ``λ/2 ||f||² + (1/n) Σ max(0, |f(x_i) − y_i| − ε)`` over
+    the RKHS via stochastic subgradient steps on the representer
+    coefficients; ``C`` maps to ``λ = 1 / (C n)`` as in libsvm.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epsilon: float = 0.1,
+        kernel: str = "rbf",
+        gamma="scale",
+        n_epochs: int = 60,
+        seed: int = 0,
+    ) -> None:
+        self.C = C
+        self.epsilon = epsilon
+        self.kernel = kernel
+        self.gamma = gamma
+        self.n_epochs = n_epochs
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVR":
+        if self.C <= 0 or self.epsilon < 0:
+            raise ValueError("C must be positive and epsilon non-negative")
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        n = y.size
+        if self.gamma == "scale":
+            var = X.var()
+            self.gamma_ = 1.0 / (X.shape[1] * var) if var > 0 else 1.0
+        else:
+            self.gamma_ = float(self.gamma)
+        kern = _KERNELS[self.kernel]
+        K = kern(X, X, self.gamma_)
+        lam = 1.0 / (self.C * n)
+        beta = np.zeros(n)
+        b = float(np.median(y))
+        rng = np.random.default_rng(self.seed)
+        t = 0
+        for _ in range(self.n_epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (lam * t)
+                resid = K[i] @ beta + b - y[i]
+                beta *= 1.0 - eta * lam
+                if resid > self.epsilon:
+                    beta[i] -= eta / n
+                    b -= eta / n
+                elif resid < -self.epsilon:
+                    beta[i] += eta / n
+                    b += eta / n
+        self.X_ = X
+        self.beta_ = beta
+        self.b_ = b
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("beta_")
+        X = check_X(X)
+        kern = _KERNELS[self.kernel]
+        return kern(X, self.X_, self.gamma_) @ self.beta_ + self.b_

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Heavy artefacts (the labeled mini-dataset) are session-scoped so the
+many core/integration tests share one build.  Everything is seeded —
+the whole suite is deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SpMVDataset, build_dataset
+from repro.formats import COOMatrix
+from repro.gpu import KEPLER_K40C, PASCAL_P100, SpMVExecutor
+from repro.matrices import SyntheticCorpus
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_dense(rng, m, n, density=0.15):
+    """Dense array with ~density non-zeros (test helper)."""
+    mask = rng.random((m, n)) < density
+    vals = rng.standard_normal((m, n))
+    return mask * vals
+
+
+@pytest.fixture
+def small_coo(rng):
+    """A 40x30 random COO matrix."""
+    return COOMatrix.from_dense(random_dense(rng, 40, 30))
+
+
+@pytest.fixture
+def skewed_coo():
+    """A matrix with one long row (stress for ELL/HYB/merge)."""
+    rng = np.random.default_rng(7)
+    row = np.concatenate([np.zeros(200, dtype=int), rng.integers(1, 100, 300)])
+    col = rng.integers(0, 250, 500)
+    val = rng.standard_normal(500)
+    return COOMatrix((100, 250), row, col, val)
+
+
+@pytest.fixture
+def kepler_executor():
+    return SpMVExecutor(KEPLER_K40C, "single", seed=0)
+
+
+@pytest.fixture
+def pascal_executor():
+    return SpMVExecutor(PASCAL_P100, "double", seed=0)
+
+
+@pytest.fixture(scope="session")
+def mini_corpus():
+    """~45-matrix corpus used by core/integration tests."""
+    return SyntheticCorpus(scale=0.02, seed=3, max_nnz=200_000)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset(mini_corpus) -> SpMVDataset:
+    """Labeled dataset on the Kepler device (built once per session)."""
+    return build_dataset(mini_corpus, KEPLER_K40C, "single", seed=3)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset_double(mini_corpus) -> SpMVDataset:
+    """Labeled dataset on the Pascal device, double precision."""
+    return build_dataset(mini_corpus, PASCAL_P100, "double", seed=3)

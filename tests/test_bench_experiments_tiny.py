@@ -1,0 +1,70 @@
+"""Exercise the remaining experiment functions at tiny scale."""
+
+import math
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tmp_path):
+    from repro.bench import runner
+
+    monkeypatch.setenv("REPRO_SCALE", "0.008")
+    monkeypatch.setenv("REPRO_MAX_NNZ", "60000")
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    runner.bench_corpus.cache_clear()
+    runner.bench_dataset.cache_clear()
+    yield
+    runner.bench_corpus.cache_clear()
+    runner.bench_dataset.cache_clear()
+
+
+def test_twin_matrices_gap():
+    from repro.bench import twin_matrices
+
+    twins = twin_matrices(seed=4)
+    assert set(twins) == {"locality_rich", "scattered"}
+    for d in twins.values():
+        assert d["csr5_gflops"] > 0 and d["merge_csr_gflops"] > 0
+
+
+def test_format_gflops_sweep_shape():
+    from repro.bench import format_gflops_sweep
+    from repro.formats import FORMAT_NAMES
+
+    sweep = format_gflops_sweep(5)
+    assert 1 <= len(sweep) <= 5
+    for row in sweep.values():
+        assert set(row) == set(FORMAT_NAMES)
+        assert any(not math.isnan(v) for v in row.values())
+
+
+def test_imp_features_table_rederived():
+    from repro.bench import imp_features_table
+
+    result = imp_features_table(
+        configs=(("k40c", "single"),), cv=2, rederive=True,
+        models=("decision_tree",),
+    )
+    acc = result[("k40c", "single")]["decision_tree"]
+    assert 0.0 <= acc <= 1.0
+
+
+def test_regression_rme_by_feature_set_tiny():
+    from repro.bench import regression_rme_by_feature_set
+
+    res = regression_rme_by_feature_set(
+        "k40c", "single", feature_sets=("set1",), seed=1
+    )
+    assert res["set1"]["mlp"] >= 0
+    assert res["set1"]["mlp_ensemble"] >= 0
+
+
+def test_indirect_vs_direct_tiny():
+    from repro.bench import indirect_vs_direct
+
+    res = indirect_vs_direct(configs=(("k40c", "single"),), tolerances=(0.0, 0.05))
+    row = res[("k40c", "single")]
+    assert row["indirect_tol5"] >= row["indirect_tol0"]
+    assert 0.0 <= row["xgboost_direct"] <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for the benchmark harness (runner, tables, experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import caption, format_pct, render_series, render_table
+from repro.bench.runner import CONFIGS
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "long_header"], [["xx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert "long_header" in lines[0]
+        assert all(len(l) <= len(max(lines, key=len)) for l in lines)
+
+    def test_render_table_title(self):
+        out = render_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_render_series(self):
+        out = render_series("s", {"a": 1.0, "b": 0.5})
+        assert "#" in out
+        assert "a" in out and "b" in out
+
+    def test_render_series_empty(self):
+        assert "no data" in render_series("s", {})
+
+    def test_format_pct(self):
+        assert format_pct(0.876) == "88%"
+        assert format_pct(0.0) == "0%"
+
+    def test_caption(self):
+        assert caption("Table I", "x") == "[Table I] paper: x"
+
+
+class TestRunnerConfig:
+    def test_configs_cover_paper_grid(self):
+        assert ("k40c", "single") in CONFIGS
+        assert ("p100", "double") in CONFIGS
+        assert len(CONFIGS) == 4
+
+    def test_env_overrides(self, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.setenv("REPRO_SCALE", "0.33")
+        monkeypatch.setenv("REPRO_MAX_NNZ", "1e5")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        assert runner.bench_scale() == 0.33
+        assert runner.bench_max_nnz() == 100_000
+        assert runner.bench_seed() == 9
+
+    def test_defaults(self, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert runner.bench_scale() == 0.1
+
+
+class TestExperimentsTinyScale:
+    """Exercise each experiment function on a throwaway tiny scale."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_scale(self, monkeypatch, tmp_path):
+        from repro.bench import runner
+
+        monkeypatch.setenv("REPRO_SCALE", "0.008")
+        monkeypatch.setenv("REPRO_MAX_NNZ", "60000")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        runner.bench_corpus.cache_clear()
+        runner.bench_dataset.cache_clear()
+        yield
+        runner.bench_corpus.cache_clear()
+        runner.bench_dataset.cache_clear()
+
+    def test_corpus_statistics(self):
+        from repro.bench import corpus_statistics
+
+        rows = corpus_statistics()
+        assert rows and all(r["count"] >= 1 for r in rows)
+
+    def test_classification_accuracy(self):
+        from repro.bench import classification_accuracy
+
+        acc = classification_accuracy(
+            "decision_tree", "k40c", "single", feature_set="set12", cv=3
+        )
+        assert 0.0 <= acc <= 1.0
+
+    def test_feature_importance(self):
+        from repro.bench import feature_importance
+
+        ranking = feature_importance("k40c", "single")
+        assert len(ranking) == 17
+
+    def test_slowdown_analysis(self):
+        from repro.bench import slowdown_analysis
+
+        result = slowdown_analysis("decision_tree", feature_sets=("set1",))
+        assert "set1" in result
+        assert result["set1"]["no_slowdown"] >= 0
+
+    def test_dataset_disk_cache(self, tmp_path):
+        from repro.bench import bench_dataset
+        from repro.bench import runner
+
+        ds = bench_dataset("k40c", "single")
+        runner.bench_dataset.cache_clear()
+        again = bench_dataset("k40c", "single")  # served from tmp_path npz
+        np.testing.assert_allclose(ds.times, again.times)

@@ -1,0 +1,76 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.bench.report import (
+    PAPER_CLASSIFICATION,
+    PAPER_TABLE14,
+    _md_table,
+    generate_report,
+)
+from repro.bench.runner import CONFIGS
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = _md_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_non_string_cells(self):
+        md = _md_table(["x"], [[42]])
+        assert "| 42 |" in md
+
+
+class TestPaperNumbers:
+    def test_every_table_covers_all_configs(self):
+        for table_id, table in PAPER_CLASSIFICATION.items():
+            assert set(table) == set(CONFIGS), table_id
+            for accs in table.values():
+                assert set(accs) == {"decision_tree", "svm", "mlp", "xgboost"}
+                assert all(0.0 < a < 1.0 for a in accs.values())
+
+    def test_paper_trends_encoded(self):
+        """The transcribed numbers satisfy the paper's own claims."""
+        for cfg in CONFIGS:
+            # Sets 1+2 >> set 1 for every machine (Tables IV -> V).
+            assert PAPER_CLASSIFICATION["V"][cfg]["xgboost"] > (
+                PAPER_CLASSIFICATION["IV"][cfg]["xgboost"] + 0.1
+            )
+            # Six formats are harder than three (V -> VIII).
+            assert (
+                PAPER_CLASSIFICATION["VIII"][cfg]["xgboost"]
+                <= PAPER_CLASSIFICATION["V"][cfg]["xgboost"]
+            )
+            # Indirect at 5% tolerance >= direct (Table XIV).
+            t14 = PAPER_TABLE14[cfg]
+            assert t14["indirect_tol5"] >= t14["xgboost_direct"] - 0.01
+
+    def test_table14_configs(self):
+        assert set(PAPER_TABLE14) == set(CONFIGS)
+
+
+@pytest.mark.slow
+class TestGeneration:
+    def test_generates_markdown_at_tiny_scale(self, monkeypatch, tmp_path):
+        import io
+
+        from repro.bench import runner
+
+        monkeypatch.setenv("REPRO_SCALE", "0.008")
+        monkeypatch.setenv("REPRO_MAX_NNZ", "50000")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        runner.bench_corpus.cache_clear()
+        runner.bench_dataset.cache_clear()
+        try:
+            text = generate_report(cv=2, stream=io.StringIO())
+        finally:
+            runner.bench_corpus.cache_clear()
+            runner.bench_dataset.cache_clear()
+        assert "# EXPERIMENTS" in text
+        assert "## Table I" in text
+        assert "## Table XIV" in text
+        assert "paper" in text

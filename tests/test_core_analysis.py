@@ -1,0 +1,67 @@
+"""Tests for feature importance and slowdown analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FormatSelector,
+    feature_importance_ranking,
+    misprediction_slowdowns,
+    slowdown_table_row,
+    top_k_features,
+)
+from repro.features import ALL_FEATURES
+
+
+class TestImportance:
+    def test_ranking_covers_features_sorted(self, mini_dataset):
+        ranking = feature_importance_ranking(
+            mini_dataset.drop_coo_best(), n_estimators=30
+        )
+        names = [n for n, _ in ranking]
+        scores = [s for _, s in ranking]
+        assert set(names) == set(ALL_FEATURES)
+        assert scores == sorted(scores, reverse=True)
+        assert all(isinstance(s, int) and s >= 0 for s in scores)
+
+    def test_top_k(self, mini_dataset):
+        top = top_k_features(mini_dataset.drop_coo_best(), k=5)
+        assert len(top) == 5
+        assert len(set(top)) == 5
+
+    def test_importance_is_deterministic(self, mini_dataset):
+        ds = mini_dataset.drop_coo_best()
+        a = feature_importance_ranking(ds, n_estimators=20, seed=1)
+        b = feature_importance_ranking(ds, n_estimators=20, seed=1)
+        assert a == b
+
+
+class TestSlowdowns:
+    @pytest.fixture(scope="class")
+    def selector_and_test(self, mini_dataset):
+        ds = mini_dataset.drop_coo_best()
+        rng = np.random.default_rng(4)
+        idx = rng.permutation(len(ds))
+        k = len(ds) // 4
+        sel = FormatSelector("xgboost", feature_set="set12").fit(ds.subset(idx[k:]))
+        return sel, ds.subset(idx[:k])
+
+    def test_slowdowns_at_least_one(self, selector_and_test):
+        sel, test = selector_and_test
+        s = misprediction_slowdowns(sel, test)
+        assert s.shape == (len(test),)
+        assert np.all(s >= 1.0)
+
+    def test_table_row_consistent(self, selector_and_test):
+        sel, test = selector_and_test
+        row = slowdown_table_row(sel, test)
+        assert row["no_slowdown"] + row["gt_1x"] == len(test)
+        assert row["gt_1x"] >= row["ge_1.2x"] >= row["ge_1.5x"] >= row["ge_2.0x"]
+
+    def test_perfect_selector_no_slowdown(self, mini_dataset):
+        """An oracle (trained and evaluated on the same data with enough
+        capacity) shows mostly no slowdown."""
+        ds = mini_dataset.drop_coo_best()
+        sel = FormatSelector("decision_tree", max_depth=64).fit(ds)
+        row = slowdown_table_row(sel, ds)
+        assert row["no_slowdown"] >= 0.95 * len(ds)

@@ -1,0 +1,109 @@
+"""Tests for dataset assembly, views and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpMVDataset, build_dataset
+from repro.features import ALL_FEATURES
+from repro.formats import FORMAT_NAMES
+from repro.gpu import KEPLER_K40C
+
+
+class TestBuild:
+    def test_shapes(self, mini_dataset):
+        n = len(mini_dataset)
+        assert n > 10
+        assert mini_dataset.feature_array.shape == (n, 17)
+        assert mini_dataset.times.shape == (n, 6)
+        assert mini_dataset.formats == FORMAT_NAMES
+
+    def test_labels_are_argmin(self, mini_dataset):
+        np.testing.assert_array_equal(
+            mini_dataset.labels, np.argmin(mini_dataset.times, axis=1)
+        )
+
+    def test_label_names(self, mini_dataset):
+        names = mini_dataset.label_names
+        assert all(n in FORMAT_NAMES for n in names)
+
+    def test_times_positive(self, mini_dataset):
+        assert np.all(mini_dataset.times > 0)
+
+    def test_gflops(self, mini_dataset):
+        nnz = mini_dataset.feature_array[:, ALL_FEATURES.index("nnz_tot")]
+        expected = 2.0 * nnz[:, None] / mini_dataset.times / 1e9
+        np.testing.assert_allclose(mini_dataset.gflops, expected)
+
+    def test_deterministic(self, mini_corpus, mini_dataset):
+        again = build_dataset(mini_corpus, KEPLER_K40C, "single", seed=3)
+        np.testing.assert_allclose(again.times, mini_dataset.times)
+
+
+class TestViews:
+    def test_X_feature_sets(self, mini_dataset):
+        assert mini_dataset.X("set1").shape[1] == 5
+        assert mini_dataset.X("set12").shape[1] == 11
+        assert mini_dataset.X("set123").shape[1] == 17
+        assert mini_dataset.X("imp").shape[1] == 7
+
+    def test_X_explicit_names(self, mini_dataset):
+        X = mini_dataset.X(("nnz_tot", "n_rows"))
+        np.testing.assert_array_equal(
+            X[:, 0], mini_dataset.feature_array[:, ALL_FEATURES.index("nnz_tot")]
+        )
+
+    def test_subset_bool_and_index(self, mini_dataset):
+        mask = mini_dataset.labels == mini_dataset.labels[0]
+        sub = mini_dataset.subset(mask)
+        assert len(sub) == mask.sum()
+        sub2 = mini_dataset.subset(np.array([0, 1, 2]))
+        assert len(sub2) == 3
+        assert sub2.names == mini_dataset.names[:3]
+
+    def test_restrict_formats(self, mini_dataset):
+        basic = mini_dataset.restrict_formats(("ell", "csr", "hyb"))
+        assert basic.formats == ("ell", "csr", "hyb")
+        assert basic.times.shape[1] == 3
+        # Labels re-derived over the subset.
+        assert set(basic.label_names) <= {"ell", "csr", "hyb"}
+
+    def test_drop_coo_best(self, mini_dataset):
+        kept = mini_dataset.drop_coo_best()
+        assert "coo" not in kept.label_names
+        assert len(kept) <= len(mini_dataset)
+
+    def test_drop_coo_best_noop_without_coo(self, mini_dataset):
+        basic = mini_dataset.restrict_formats(("ell", "csr"))
+        assert basic.drop_coo_best() is basic
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, mini_dataset):
+        path = tmp_path / "ds.npz"
+        mini_dataset.save(path)
+        loaded = SpMVDataset.load(path)
+        assert loaded.names == mini_dataset.names
+        assert loaded.formats == mini_dataset.formats
+        assert loaded.device == mini_dataset.device
+        np.testing.assert_allclose(loaded.times, mini_dataset.times)
+        np.testing.assert_allclose(loaded.feature_array, mini_dataset.feature_array)
+
+    def test_build_uses_cache(self, tmp_path, mini_corpus, mini_dataset):
+        path = tmp_path / "cache.npz"
+        mini_dataset.save(path)
+        loaded = build_dataset(
+            mini_corpus, KEPLER_K40C, "single", seed=99, cache_path=path
+        )
+        # Served from cache: seed 99 never ran.
+        np.testing.assert_allclose(loaded.times, mini_dataset.times)
+
+    def test_validation_on_construction(self, mini_dataset):
+        with pytest.raises(ValueError, match="times shape"):
+            SpMVDataset(
+                names=mini_dataset.names,
+                feature_array=mini_dataset.feature_array,
+                times=mini_dataset.times[:, :2],
+                formats=mini_dataset.formats,
+                device="d",
+                precision="single",
+            )

@@ -1,0 +1,74 @@
+"""Failure-injection tests: datasets under simulated execution failures."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpMVDataset, build_dataset, label_matrix
+from repro.gpu import KEPLER_K40C, NoiseModel, SpMVExecutor
+from repro.matrices import SyntheticCorpus
+
+
+class TestLabelingUnderFailures:
+    def test_partial_failure_keeps_other_formats(self, skewed_coo):
+        ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=1.5)
+        label = label_matrix(ex, skewed_coo, name="victim")
+        assert "ell" in label.failed
+        assert label.best_format != "ell"
+        assert len(label.times) == 5
+
+    def test_failed_format_absent_from_slowdown(self, skewed_coo):
+        ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=1.5)
+        label = label_matrix(ex, skewed_coo)
+        with pytest.raises(KeyError):
+            label.slowdown("ell")
+
+
+class TestDatasetDropsIncomplete:
+    def test_paper_drop_rule(self):
+        """Matrices failing any format are dropped, like the paper's ~400."""
+        corpus = SyntheticCorpus(scale=0.01, seed=9, max_nnz=100_000)
+        full = build_dataset(corpus, KEPLER_K40C, "single", seed=9)
+        # Re-run the labeling pass with a harsh ELL padding guard: every
+        # matrix failing any format must be excluded, as in the paper.
+        ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=3.0, seed=9)
+        kept = 0
+        dropped = 0
+        for entry in corpus:
+            matrix = entry.build()
+            try:
+                label = label_matrix(ex, matrix, name=entry.name)
+            except ValueError:
+                dropped += 1
+                continue
+            if label.complete:
+                kept += 1
+            else:
+                dropped += 1
+        assert kept + dropped == len(corpus)
+        assert kept <= len(full)
+
+    def test_empty_survivors_rejected(self):
+        corpus = SyntheticCorpus(
+            scale=0.004, seed=1, max_nnz=5_000, families=("power_law",)
+        )
+        # Nothing wrong here; just ensure the builder returns a dataset
+        # or raises the documented error — never a silent empty object.
+        try:
+            ds = build_dataset(corpus, KEPLER_K40C, "single", seed=1)
+            assert len(ds) > 0
+        except ValueError as exc:
+            assert "no corpus matrix survived" in str(exc)
+
+
+class TestDeterminismAcrossNoiseSeeds:
+    def test_noise_seed_changes_labels_only_at_margins(self):
+        corpus = SyntheticCorpus(scale=0.01, seed=4, max_nnz=80_000)
+        a = build_dataset(corpus, KEPLER_K40C, "single",
+                          noise=NoiseModel(0.02, 0.03, seed=1), seed=4)
+        b = build_dataset(corpus, KEPLER_K40C, "single",
+                          noise=NoiseModel(0.02, 0.03, seed=2), seed=4)
+        assert a.names == b.names
+        agreement = float(np.mean(a.labels == b.labels))
+        # Different "hardware instances" agree on most labels (the
+        # deterministic model dominates) but not all (near-ties flip).
+        assert agreement > 0.5

@@ -1,0 +1,77 @@
+"""Tests for indirect classification via predicted performance."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndirectClassifier, PerformancePredictor, tolerant_accuracy
+
+
+class TestTolerantAccuracy:
+    def test_exact_best_required_at_zero(self):
+        times = np.array([[1.0, 2.0], [3.0, 1.0]])
+        assert tolerant_accuracy(times, np.array([0, 1])) == 1.0
+        assert tolerant_accuracy(times, np.array([1, 1])) == 0.5
+
+    def test_tolerance_admits_near_ties(self):
+        times = np.array([[1.0, 1.04]])
+        assert tolerant_accuracy(times, np.array([1]), tolerance=0.0) == 0.0
+        assert tolerant_accuracy(times, np.array([1]), tolerance=0.05) == 1.0
+
+    def test_monotone_in_tolerance(self, rng):
+        times = rng.uniform(1, 2, (50, 4))
+        pred = rng.integers(0, 4, 50)
+        accs = [tolerant_accuracy(times, pred, t) for t in (0.0, 0.1, 0.5, 1.0)]
+        assert all(b >= a for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0  # 100% tolerance accepts anything <= 2x best
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            tolerant_accuracy(np.ones((1, 2)), np.array([0]), tolerance=-0.1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            tolerant_accuracy(np.ones(3), np.array([0]))
+
+
+class TestIndirectClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self, mini_dataset):
+        ds = mini_dataset.drop_coo_best()
+        rng = np.random.default_rng(2)
+        idx = rng.permutation(len(ds))
+        k = len(ds) // 5
+        train, test = ds.subset(idx[k:]), ds.subset(idx[:k])
+        ic = IndirectClassifier(
+            PerformancePredictor("xgboost", feature_set="set123", mode="joint")
+        )
+        ic.fit(train)
+        return ic, test
+
+    def test_predictions_in_range(self, fitted):
+        ic, test = fitted
+        pred = ic.predict(test)
+        assert pred.min() >= 0 and pred.max() < len(test.formats)
+
+    def test_predict_formats(self, fitted):
+        ic, test = fitted
+        assert all(f in test.formats for f in ic.predict_formats(test))
+
+    def test_score_improves_with_tolerance(self, fitted):
+        ic, test = fitted
+        assert ic.score(test, tolerance=0.05) >= ic.score(test, tolerance=0.0)
+
+    def test_score_beats_chance(self, fitted):
+        ic, test = fitted
+        assert ic.score(test, tolerance=0.0) > 1.0 / len(test.formats)
+
+    def test_default_tolerance_used(self, mini_dataset):
+        ds = mini_dataset.drop_coo_best()
+        ic = IndirectClassifier(
+            PerformancePredictor("decision_tree", mode="joint"), tolerance=0.05
+        )
+        ic.fit(ds)
+        assert ic.score(ds) == ic.score(ds, tolerance=0.05)
+
+    def test_negative_default_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            IndirectClassifier(tolerance=-0.01)

@@ -1,0 +1,59 @@
+"""Tests for ground-truth label collection."""
+
+import numpy as np
+import pytest
+
+from repro.core import label_matrix
+from repro.formats import FORMAT_NAMES
+from repro.gpu import KEPLER_K40C, SpMVExecutor
+
+
+class TestLabelMatrix:
+    def test_label_fields(self, kepler_executor, small_coo):
+        label = label_matrix(kepler_executor, small_coo, name="m0")
+        assert label.name == "m0"
+        assert set(label.times) == set(FORMAT_NAMES)
+        assert label.best_format in FORMAT_NAMES
+        assert label.complete
+        assert len(label.features) == 17
+
+    def test_best_format_is_argmin(self, kepler_executor, small_coo):
+        label = label_matrix(kepler_executor, small_coo)
+        assert label.times[label.best_format] == min(label.times.values())
+
+    def test_gflops_consistent_with_times(self, kepler_executor, small_coo):
+        label = label_matrix(kepler_executor, small_coo)
+        for fmt in FORMAT_NAMES:
+            expected = 2.0 * small_coo.nnz / label.times[fmt] / 1e9
+            assert label.gflops[fmt] == pytest.approx(expected, rel=0.01)
+
+    def test_slowdown_of_best_is_one(self, kepler_executor, small_coo):
+        label = label_matrix(kepler_executor, small_coo)
+        assert label.slowdown(label.best_format) == 1.0
+        assert all(label.slowdown(f) >= 1.0 for f in FORMAT_NAMES)
+
+    def test_format_subset(self, kepler_executor, small_coo):
+        label = label_matrix(kepler_executor, small_coo, formats=("ell", "csr", "hyb"))
+        assert set(label.times) == {"ell", "csr", "hyb"}
+        assert label.best_format in {"ell", "csr", "hyb"}
+
+    def test_failures_recorded(self, skewed_coo):
+        ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=2.0)
+        label = label_matrix(ex, skewed_coo)
+        assert "ell" in label.failed
+        assert not label.complete
+        assert "KernelFailure" in label.failed["ell"]
+
+    def test_all_failed_raises(self, skewed_coo):
+        ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=2.0)
+        with pytest.raises(ValueError, match="every format failed"):
+            label_matrix(ex, skewed_coo, formats=("ell",))
+
+    def test_reps_forwarded(self, kepler_executor, small_coo):
+        label = label_matrix(kepler_executor, small_coo, reps=7)
+        assert label.times  # just runs; protocol covered by executor tests
+
+    def test_precomputed_features_reused(self, kepler_executor, small_coo):
+        sentinel = {"n_rows": -1.0}
+        label = label_matrix(kepler_executor, small_coo, features=sentinel)
+        assert label.features is sentinel

@@ -1,0 +1,63 @@
+"""Smoke tests for the example scripts (run in-process, scaled down)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    """Import an example file as a fresh module namespace."""
+    return runpy.run_path(str(EXAMPLES / name))
+
+
+class TestFormatExplorer:
+    def test_synthetic_tour_yields_ten_families(self):
+        mod = _load("format_explorer.py")
+        tour = list(mod["synthetic_tour"]())
+        assert len(tour) == 10
+        names = [t[0] for t in tour]
+        assert "banded" in names and "rmat" in names
+
+    def test_main_with_mtx_file(self, tmp_path, monkeypatch, capsys):
+        from repro.matrices import random_uniform, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(random_uniform(500, 500, nnz=4000, seed=0), path)
+        mod = _load("format_explorer.py")
+        monkeypatch.setattr(sys, "argv", ["format_explorer.py", str(path)])
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "m.mtx" in out
+        assert "coo" in out and "merge_csr" in out
+
+
+class TestAutotuneSolver:
+    def test_jacobi_converges(self):
+        mod = _load("autotune_solver.py")
+        from repro.formats import COOMatrix
+        from repro.matrices import stencil_2d
+
+        A = stencil_2d(12, 12, points=5, seed=0)
+        vals = np.where(A.row == A.col, 8.0 + np.abs(A.val), 0.25 * A.val)
+        A = COOMatrix(A.shape, A.row, A.col, vals)
+        b = np.ones(A.n_rows)
+        x = mod["jacobi"](A, b, "csr", iters=150)
+        from repro.formats import as_format
+
+        residual = np.linalg.norm(b - as_format(A, "csr").spmv(x))
+        assert residual < 1e-8 * np.linalg.norm(b)
+
+
+class TestQuickstart:
+    @pytest.mark.slow
+    def test_runs_end_to_end(self, capsys):
+        mod = _load("quickstart.py")
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "formats agree" in out
+        assert "predicted best format" in out

@@ -1,0 +1,164 @@
+"""Tests for the 17-feature extractor (paper Table II), incl. hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    ALL_FEATURES,
+    FEATURE_SET_1,
+    FEATURE_SET_2,
+    FEATURE_SET_3,
+    FEATURE_SETS,
+    IMP_FEATURES,
+    extract_features,
+    feature_matrix,
+    feature_vector,
+)
+from repro.formats import COOMatrix
+from repro.matrices import banded, clustered
+
+
+class TestFeatureSets:
+    def test_cardinalities_match_paper(self):
+        assert len(FEATURE_SET_1) == 5      # Table IV: "5 features"
+        assert len(FEATURE_SETS["set12"]) == 11   # Table V: "11 features"
+        assert len(ALL_FEATURES) == 17      # Table VI: "17 features"
+        assert len(IMP_FEATURES) == 7       # Table X: "top 7"
+
+    def test_sets_are_nested_and_disjoint(self):
+        assert set(FEATURE_SET_1) & set(FEATURE_SET_2) == set()
+        assert set(FEATURE_SET_2) & set(FEATURE_SET_3) == set()
+        assert set(FEATURE_SETS["set12"]) == set(FEATURE_SET_1) | set(FEATURE_SET_2)
+
+    def test_imp_features_subset_of_all(self):
+        assert set(IMP_FEATURES) <= set(ALL_FEATURES)
+
+
+class TestValues:
+    def test_set1_values(self, small_coo):
+        f = extract_features(small_coo)
+        assert f["n_rows"] == small_coo.n_rows
+        assert f["n_cols"] == small_coo.n_cols
+        assert f["nnz_tot"] == small_coo.nnz
+        lengths = small_coo.row_lengths()
+        assert f["nnz_mu"] == pytest.approx(lengths.mean())
+        assert f["nnz_frac"] == pytest.approx(
+            100.0 * small_coo.nnz / (small_coo.n_rows * small_coo.n_cols)
+        )
+
+    def test_row_statistics(self, skewed_coo):
+        f = extract_features(skewed_coo)
+        lengths = skewed_coo.row_lengths()
+        assert f["nnz_max"] == lengths.max()
+        assert f["nnz_min"] == lengths.min()
+        assert f["nnz_sigma"] == pytest.approx(lengths.std())
+
+    def test_chunks_on_known_matrix(self):
+        # Row 0: cols 0,1,2 and 5,6 -> two chunks of sizes 3 and 2.
+        # Row 1: col 4 -> one chunk of size 1.
+        coo = COOMatrix(
+            (2, 8),
+            [0, 0, 0, 0, 0, 1],
+            [0, 1, 2, 5, 6, 4],
+            [1.0] * 6,
+        )
+        f = extract_features(coo)
+        assert f["nnzb_tot"] == 3
+        assert f["nnzb_max"] == 2
+        assert f["nnzb_min"] == 1
+        assert f["snzb_max"] == 3
+        assert f["snzb_min"] == 1
+        assert f["snzb_mu"] == pytest.approx(2.0)
+        assert f["nnzb_mu"] == pytest.approx(1.5)
+
+    def test_fully_contiguous_rows_one_chunk_each(self):
+        A = banded(100, 100, bandwidth=6, fill=1.0, seed=0)
+        f = extract_features(A)
+        nonempty = int((A.row_lengths() > 0).sum())
+        assert f["nnzb_tot"] == nonempty
+        assert f["snzb_mu"] == pytest.approx(A.nnz / nonempty)
+
+    def test_scattered_matrix_many_chunks(self):
+        rng = np.random.default_rng(0)
+        # Columns spaced >= 2 apart: every nnz is its own chunk.
+        coo = COOMatrix((10, 100), np.repeat(np.arange(10), 5),
+                        np.tile(np.arange(5) * 10, 10), rng.standard_normal(50))
+        f = extract_features(coo)
+        assert f["nnzb_tot"] == 50
+        assert f["snzb_max"] == 1
+
+    def test_empty_matrix(self):
+        f = extract_features(COOMatrix.empty((4, 4)))
+        assert f["nnz_tot"] == 0
+        assert f["nnzb_tot"] == 0
+        assert f["snzb_mu"] == 0
+
+    def test_clustered_family_detected(self):
+        chunky = extract_features(clustered(500, 500, nnz=5000, chunk=12, seed=1))
+        assert chunky["snzb_mu"] > 4
+
+
+class TestVectorisation:
+    def test_feature_vector_order(self, small_coo):
+        f = extract_features(small_coo)
+        v = feature_vector(f)
+        assert v.shape == (17,)
+        assert v[0] == f["n_rows"]
+        assert v[list(ALL_FEATURES).index("nnz_sigma")] == f["nnz_sigma"]
+
+    def test_feature_vector_subset(self, small_coo):
+        f = extract_features(small_coo)
+        v = feature_vector(f, ("nnz_tot", "n_cols"))
+        assert v.tolist() == [f["nnz_tot"], f["n_cols"]]
+
+    def test_feature_matrix_stacking(self, small_coo, skewed_coo):
+        X = feature_matrix([extract_features(small_coo), extract_features(skewed_coo)])
+        assert X.shape == (2, 17)
+
+    def test_feature_matrix_empty(self):
+        assert feature_matrix([]).shape == (0, 17)
+
+
+@st.composite
+def random_coo(draw):
+    m = draw(st.integers(1, 25))
+    n = draw(st.integers(1, 25))
+    seed = draw(st.integers(0, 10_000))
+    density = draw(st.floats(0.0, 0.6))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((m, n)) < density) * rng.standard_normal((m, n))
+    return COOMatrix.from_dense(dense)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(coo=random_coo())
+    def test_invariants(self, coo):
+        f = extract_features(coo)
+        assert set(f) == set(ALL_FEATURES)
+        assert all(np.isfinite(v) for v in f.values())
+        assert f["nnz_min"] <= f["nnz_mu"] <= f["nnz_max"]
+        assert 0 <= f["nnz_frac"] <= 100
+        if coo.nnz:
+            # Chunk counts bound by nnz; sizes bound by chunk totals.
+            assert 1 <= f["nnzb_tot"] <= coo.nnz
+            assert f["snzb_min"] <= f["snzb_mu"] <= f["snzb_max"]
+            assert f["nnzb_min"] <= f["nnzb_mu"] <= f["nnzb_max"]
+            # Total nnz = sum over chunks of their sizes.
+            assert f["snzb_mu"] * f["nnzb_tot"] == pytest.approx(coo.nnz)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=random_coo())
+    def test_value_independence(self, coo):
+        """Features are purely structural: rescaling values changes nothing."""
+        scaled = COOMatrix(coo.shape, coo.row, coo.col, 3.7 * coo.val, canonical=False)
+        assert extract_features(coo) == extract_features(scaled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=random_coo())
+    def test_csr_and_coo_inputs_agree(self, coo):
+        from repro.formats import CSRMatrix
+
+        assert extract_features(coo) == extract_features(CSRMatrix.from_coo(coo))

@@ -1,0 +1,51 @@
+"""Tests for the cross-format conversion hub."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    ADVANCED_FORMATS,
+    BASIC_FORMATS,
+    EXTENSION_FORMATS,
+    FORMAT_NAMES,
+    FORMATS,
+    COOMatrix,
+    as_format,
+)
+
+
+def test_registry_is_complete():
+    assert set(FORMAT_NAMES) | set(EXTENSION_FORMATS) == set(FORMATS)
+    assert set(BASIC_FORMATS) | set(ADVANCED_FORMATS) | {"coo", "csr"} == set(FORMAT_NAMES)
+
+
+@pytest.mark.parametrize("src", FORMAT_NAMES)
+@pytest.mark.parametrize("dst", FORMAT_NAMES)
+def test_every_pairwise_conversion(rng, small_coo, src, dst):
+    a = as_format(small_coo, src)
+    b = as_format(a, dst)
+    assert b.name == dst
+    np.testing.assert_allclose(b.to_dense(), small_coo.to_dense())
+
+
+def test_identity_conversion_returns_same_object(small_coo):
+    csr = as_format(small_coo, "csr")
+    assert as_format(csr, "csr") is csr
+
+
+def test_kwargs_force_reconstruction(small_coo):
+    hyb1 = as_format(small_coo, "hyb")
+    hyb2 = as_format(hyb1, "hyb", threshold=1)
+    assert hyb2 is not hyb1
+    assert hyb2.threshold <= 1
+
+
+def test_unknown_format_rejected(small_coo):
+    with pytest.raises(KeyError, match="unknown format"):
+        as_format(small_coo, "sell")
+
+
+def test_conversion_preserves_dtype(small_coo):
+    single = small_coo.astype(np.float32)
+    for name in FORMAT_NAMES:
+        assert as_format(single, name).dtype == np.float32

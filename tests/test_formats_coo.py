@@ -1,0 +1,106 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, FormatError, INDEX_BYTES
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = (rng.random((8, 5)) < 0.4) * rng.standard_normal((8, 5))
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(coo.to_dense(), dense)
+
+    def test_canonical_ordering(self):
+        # Entries given out of order end up sorted row-major.
+        coo = COOMatrix((3, 3), [2, 0, 1, 0], [0, 2, 1, 0], [1.0, 2.0, 3.0, 4.0])
+        assert list(coo.row) == [0, 0, 1, 2]
+        assert list(coo.col) == [0, 2, 1, 0]
+        assert list(coo.val) == [4.0, 2.0, 3.0, 1.0]
+
+    def test_duplicates_are_summed(self):
+        coo = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [1.5, 2.5, 3.0])
+        assert coo.nnz == 2
+        assert coo.to_dense()[0, 1] == pytest.approx(4.0)
+
+    def test_empty_matrix(self):
+        coo = COOMatrix.empty((5, 7))
+        assert coo.nnz == 0
+        assert coo.shape == (5, 7)
+        assert coo.to_dense().sum() == 0
+
+    def test_rejects_out_of_bounds_row(self):
+        with pytest.raises(FormatError, match="row index"):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_rejects_out_of_bounds_col(self):
+        with pytest.raises(FormatError, match="column index"):
+            COOMatrix((2, 2), [0], [5], [1.0])
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(FormatError, match="negative"):
+            COOMatrix((2, 2), [-1], [0], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(FormatError, match="mismatch"):
+            COOMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2,), [0], [0], [1.0])
+
+    def test_arrays_are_read_only(self, small_coo):
+        with pytest.raises(ValueError):
+            small_coo.val[0] = 99.0
+
+    def test_integer_values_upcast_to_float(self):
+        coo = COOMatrix((2, 2), [0], [0], np.array([3], dtype=np.int32))
+        assert coo.dtype == np.float64
+
+
+class TestBehaviour:
+    def test_spmv_matches_dense(self, rng, small_coo):
+        x = rng.standard_normal(small_coo.n_cols)
+        np.testing.assert_allclose(small_coo.spmv(x), small_coo.to_dense() @ x)
+
+    def test_spmv_rejects_wrong_length(self, small_coo):
+        with pytest.raises(FormatError, match="mismatch"):
+            small_coo.spmv(np.ones(small_coo.n_cols + 1))
+
+    def test_spmv_rejects_matrix_input(self, small_coo):
+        with pytest.raises(FormatError, match="1-D"):
+            small_coo.spmv(np.ones((small_coo.n_cols, 1)))
+
+    def test_spmv_preserves_dtype(self, small_coo):
+        single = small_coo.astype(np.float32)
+        y = single.spmv(np.ones(single.n_cols, dtype=np.float32))
+        assert y.dtype == np.float32
+
+    def test_transpose(self, small_coo, rng):
+        x = rng.standard_normal(small_coo.n_rows)
+        t = small_coo.transpose()
+        np.testing.assert_allclose(t.spmv(x), small_coo.to_dense().T @ x)
+
+    def test_select_rows_keeps_shape(self, small_coo):
+        mask = np.zeros(small_coo.n_rows, dtype=bool)
+        mask[:10] = True
+        sub = small_coo.select_rows(mask)
+        assert sub.shape == small_coo.shape
+        assert set(np.unique(sub.row)) <= set(range(10))
+
+    def test_row_lengths(self, small_coo):
+        lengths = small_coo.row_lengths()
+        assert lengths.sum() == small_coo.nnz
+        dense = small_coo.to_dense()
+        np.testing.assert_array_equal(lengths, (dense != 0).sum(axis=1))
+
+    def test_memory_bytes(self, small_coo):
+        expected = small_coo.nnz * (2 * INDEX_BYTES + 8)
+        assert small_coo.memory_bytes() == expected
+
+    def test_astype_roundtrip(self, small_coo):
+        single = small_coo.astype(np.float32)
+        assert single.dtype == np.float32
+        assert single.precision == "single"
+        assert small_coo.astype(np.float64) is small_coo

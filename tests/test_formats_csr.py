@@ -1,0 +1,81 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, FormatError
+
+
+@pytest.fixture
+def csr(small_coo):
+    return CSRMatrix.from_coo(small_coo)
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self, small_coo, csr):
+        np.testing.assert_allclose(csr.to_dense(), small_coo.to_dense())
+
+    def test_indptr_invariants(self, csr):
+        assert csr.indptr[0] == 0
+        assert csr.indptr[-1] == csr.nnz
+        assert np.all(np.diff(csr.indptr) >= 0)
+
+    def test_columns_sorted_within_rows(self, csr):
+        for i in range(csr.n_rows):
+            cols, _ = csr.row_slice(i)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_shares_arrays_with_canonical_coo(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        # Zero-copy: CSR's indices/data are the canonical COO arrays.
+        assert csr.indices.base is small_coo.col or csr.indices is small_coo.col
+        assert csr.data.base is small_coo.val or csr.data is small_coo.val
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError, match="length"):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError, match="non-decreasing"):
+            CSRMatrix((3, 2), [0, 2, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_rejects_wrong_terminal_indptr(self):
+        with pytest.raises(FormatError, match="end at nnz"):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_rejects_column_out_of_bounds(self):
+        with pytest.raises(FormatError, match="out of bounds"):
+            CSRMatrix((2, 2), [0, 1, 2], [0, 4], [1.0, 2.0])
+
+    def test_empty_rows_allowed(self):
+        csr = CSRMatrix((3, 3), [0, 0, 2, 2], [0, 1], [1.0, 2.0])
+        assert csr.row_lengths().tolist() == [0, 2, 0]
+
+
+class TestBehaviour:
+    def test_spmv_matches_dense(self, rng, csr):
+        x = rng.standard_normal(csr.n_cols)
+        np.testing.assert_allclose(csr.spmv(x), csr.to_dense() @ x)
+
+    def test_spmv_with_empty_rows(self, rng):
+        csr = CSRMatrix((4, 3), [0, 0, 2, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        x = rng.standard_normal(3)
+        expected = csr.to_dense() @ x
+        np.testing.assert_allclose(csr.spmv(x), expected)
+        assert csr.spmv(x)[0] == 0.0
+
+    def test_spmv_empty_matrix(self):
+        csr = CSRMatrix.from_coo(COOMatrix.empty((3, 4)))
+        np.testing.assert_array_equal(csr.spmv(np.ones(4)), np.zeros(3))
+
+    def test_to_coo_roundtrip(self, csr, small_coo):
+        back = csr.to_coo()
+        np.testing.assert_allclose(back.to_dense(), small_coo.to_dense())
+
+    def test_memory_accounting(self, csr):
+        expected = csr.nnz * (4 + 8) + (csr.n_rows + 1) * 4
+        assert csr.memory_bytes() == expected
+
+    def test_row_slice_views(self, csr):
+        cols, vals = csr.row_slice(0)
+        assert cols.size == vals.size == csr.row_lengths()[0]

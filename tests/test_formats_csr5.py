@@ -1,0 +1,85 @@
+"""Unit tests for the CSR5 format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSR5Matrix, CSRMatrix, FormatError
+
+
+@pytest.fixture
+def csr5(small_coo):
+    return CSR5Matrix.from_coo(small_coo)
+
+
+class TestTiling:
+    def test_tile_count(self, small_coo):
+        m = CSR5Matrix.from_coo(small_coo, omega=4, sigma=2)
+        expected = -(-small_coo.nnz // 8)
+        assert m.n_tiles == expected
+
+    def test_perm_is_a_permutation(self, csr5):
+        assert np.array_equal(np.sort(csr5.perm), np.arange(csr5.nnz))
+
+    def test_full_tiles_are_transposed(self, small_coo):
+        omega, sigma = 4, 2
+        m = CSR5Matrix.from_coo(small_coo, omega=omega, sigma=sigma)
+        csr = CSRMatrix.from_coo(small_coo)
+        tile = omega * sigma
+        if m.nnz >= tile:
+            # Storage slot (step, lane) of tile 0 holds CSR element
+            # lane * sigma + step.
+            block = m.perm[:tile].reshape(sigma, omega)
+            expected = np.arange(tile).reshape(omega, sigma).T
+            np.testing.assert_array_equal(block, expected)
+
+    def test_partial_tail_keeps_csr_order(self, small_coo):
+        m = CSR5Matrix.from_coo(small_coo, omega=16, sigma=16)
+        tile = 16 * 16
+        tail = m.perm[(m.nnz // tile) * tile :]
+        assert np.all(np.diff(tail) == 1) or tail.size <= 1
+
+    def test_tile_ptr_rows_monotone(self, csr5):
+        assert np.all(np.diff(csr5.tile_ptr) >= 0)
+        assert csr5.tile_ptr[-1] == csr5.n_rows
+
+    def test_bit_flag_counts_rows(self, small_coo):
+        m = CSR5Matrix.from_coo(small_coo)
+        bits = np.unpackbits(m.bit_flag)[: m.nnz]
+        nonempty_rows = int((small_coo.row_lengths() > 0).sum())
+        assert bits.sum() == nonempty_rows
+
+    def test_rejects_bad_omega(self, small_coo):
+        with pytest.raises(FormatError, match="positive"):
+            CSR5Matrix.from_coo(small_coo, omega=0)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("omega,sigma", [(2, 2), (4, 3), (32, 16), (8, 1)])
+    def test_spmv_matches_dense(self, rng, small_coo, omega, sigma):
+        m = CSR5Matrix.from_coo(small_coo, omega=omega, sigma=sigma)
+        x = rng.standard_normal(small_coo.n_cols)
+        np.testing.assert_allclose(m.spmv(x), small_coo.to_dense() @ x, atol=1e-12)
+
+    def test_spmv_on_skewed(self, rng, skewed_coo):
+        m = CSR5Matrix.from_coo(skewed_coo, omega=4, sigma=4)
+        x = rng.standard_normal(skewed_coo.n_cols)
+        np.testing.assert_allclose(m.spmv(x), skewed_coo.to_dense() @ x, atol=1e-12)
+
+    def test_roundtrip(self, small_coo, csr5):
+        np.testing.assert_allclose(csr5.to_coo().to_dense(), small_coo.to_dense())
+
+    def test_empty_matrix(self):
+        m = CSR5Matrix.from_coo(COOMatrix.empty((3, 3)))
+        assert m.n_tiles == 0
+        np.testing.assert_array_equal(m.spmv(np.ones(3)), np.zeros(3))
+
+    def test_memory_exceeds_csr_by_metadata_only(self, small_coo, csr5):
+        csr = CSRMatrix.from_coo(small_coo)
+        extra = csr5.memory_bytes() - csr.memory_bytes()
+        assert 0 < extra < 0.5 * csr.memory_bytes() + 64
+
+    def test_from_csr_equivalent(self, small_coo):
+        a = CSR5Matrix.from_coo(small_coo)
+        b = CSR5Matrix.from_csr(CSRMatrix.from_coo(small_coo))
+        np.testing.assert_array_equal(a.tile_col, b.tile_col)
+        np.testing.assert_allclose(a.tile_val, b.tile_val)

@@ -1,0 +1,131 @@
+"""Edge-case tests across formats: precision, extremes, API corners."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSR5Matrix,
+    CSRMatrix,
+    ELLMatrix,
+    FORMAT_NAMES,
+    FormatError,
+    HYBMatrix,
+    MergeCSRMatrix,
+    as_format,
+)
+
+
+class TestPrecision:
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_float32_spmv_dtype(self, small_coo, fmt):
+        single = small_coo.astype(np.float32)
+        A = as_format(single, fmt)
+        y = A.spmv(np.ones(single.n_cols, dtype=np.float32))
+        assert y.dtype == np.float32
+        assert A.precision == "single"
+
+    def test_float32_roundtrip_values(self, small_coo):
+        single = small_coo.astype(np.float32)
+        back = as_format(single, "csr5").to_coo()
+        np.testing.assert_array_equal(back.val, single.val)
+
+
+class TestExtremeShapes:
+    def test_single_column_matrix(self, rng):
+        coo = COOMatrix((50, 1), rng.integers(0, 50, 20), np.zeros(20, int),
+                        rng.standard_normal(20))
+        x = np.array([2.0])
+        for fmt in FORMAT_NAMES:
+            np.testing.assert_allclose(
+                as_format(coo, fmt).spmv(x), coo.to_dense() @ x, atol=1e-12
+            )
+
+    def test_single_row_matrix(self, rng):
+        coo = COOMatrix((1, 50), np.zeros(20, int), rng.integers(0, 50, 20),
+                        rng.standard_normal(20))
+        x = rng.standard_normal(50)
+        for fmt in FORMAT_NAMES:
+            np.testing.assert_allclose(
+                as_format(coo, fmt).spmv(x), coo.to_dense() @ x, atol=1e-12
+            )
+
+    def test_fully_dense_matrix(self, rng):
+        dense = rng.standard_normal((12, 12))
+        dense[dense == 0] = 1.0
+        coo = COOMatrix.from_dense(dense)
+        assert coo.nnz == 144
+        x = rng.standard_normal(12)
+        for fmt in FORMAT_NAMES:
+            np.testing.assert_allclose(
+                as_format(coo, fmt).spmv(x), dense @ x, atol=1e-10
+            )
+
+    def test_one_by_one(self):
+        coo = COOMatrix((1, 1), [0], [0], [3.0])
+        for fmt in FORMAT_NAMES:
+            np.testing.assert_allclose(as_format(coo, fmt).spmv([2.0]), [6.0])
+
+    def test_zero_row_matrix(self):
+        coo = COOMatrix.empty((0, 5))
+        assert CSRMatrix.from_coo(coo).spmv(np.ones(5)).shape == (0,)
+
+
+class TestNumericalBehaviour:
+    def test_cancellation_consistency(self):
+        """Formats agree even with catastrophic cancellation inputs."""
+        coo = COOMatrix((1, 3), [0, 0, 0], [0, 1, 2], [1e16, 1.0, -1e16])
+        x = np.ones(3)
+        results = {f: as_format(coo, f).spmv(x)[0] for f in FORMAT_NAMES}
+        # All summation orders land on a small set of values near 1 or 0
+        # (floating point); none may produce garbage like 1e16.
+        assert all(abs(v) <= 2.0 for v in results.values())
+
+    def test_negative_values_roundtrip(self, small_coo):
+        neg = COOMatrix(small_coo.shape, small_coo.row, small_coo.col,
+                        -np.abs(small_coo.val), canonical=False)
+        for fmt in FORMAT_NAMES:
+            back = as_format(neg, fmt).to_coo()
+            assert back.val.max() < 0
+
+
+class TestApiCorners:
+    def test_memory_ratio_of_csr_close_to_one(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        assert csr.memory_ratio() == pytest.approx(1.0)
+
+    def test_memory_ratio_of_padded_ell(self, skewed_coo):
+        ell = ELLMatrix.from_coo(skewed_coo)
+        assert ell.memory_ratio() > 5.0
+
+    def test_repr_smoke(self, small_coo):
+        for fmt in FORMAT_NAMES:
+            text = repr(as_format(small_coo, fmt))
+            assert "nnz=" in text
+
+    def test_csr5_degenerate_tiles(self, small_coo):
+        # omega*sigma == 1: every element its own tile.
+        m = CSR5Matrix.from_coo(small_coo, omega=1, sigma=1)
+        assert m.n_tiles == small_coo.nnz
+        np.testing.assert_allclose(
+            m.spmv(np.ones(small_coo.n_cols)),
+            small_coo.to_dense().sum(axis=1),
+        )
+
+    def test_hyb_of_hyb_roundtrips(self, skewed_coo):
+        hyb = HYBMatrix.from_coo(skewed_coo)
+        again = as_format(hyb, "hyb", threshold=2)
+        np.testing.assert_allclose(again.to_dense(), skewed_coo.to_dense())
+
+    def test_merge_more_partitions_than_work(self):
+        coo = COOMatrix((2, 2), [0], [1], [5.0])
+        m = MergeCSRMatrix.from_coo(coo, partitions=64)
+        np.testing.assert_allclose(m.spmv(np.ones(2)), [5.0, 0.0])
+
+    def test_duplicate_heavy_construction(self, rng):
+        # Many duplicates collapsing to few entries.
+        row = np.zeros(1000, int)
+        col = rng.integers(0, 3, 1000)
+        coo = COOMatrix((1, 3), row, col, np.ones(1000))
+        assert coo.nnz <= 3
+        assert coo.to_dense().sum() == pytest.approx(1000.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the ELLPACK format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, ELLMatrix, FormatError, PAD_COL
+
+
+class TestConstruction:
+    def test_width_is_longest_row(self, skewed_coo):
+        ell = ELLMatrix.from_coo(skewed_coo)
+        assert ell.width == int(skewed_coo.row_lengths().max())
+
+    def test_padding_slots_hold_sentinel_and_zero(self, small_coo):
+        ell = ELLMatrix.from_coo(small_coo)
+        pad = ell.col_idx == PAD_COL
+        assert np.all(ell.values[pad] == 0.0)
+
+    def test_nnz_excludes_padding(self, small_coo):
+        ell = ELLMatrix.from_coo(small_coo)
+        assert ell.nnz == small_coo.nnz
+
+    def test_padding_ratio(self, skewed_coo):
+        ell = ELLMatrix.from_coo(skewed_coo)
+        expected = skewed_coo.n_rows * ell.width / skewed_coo.nnz
+        assert ell.padding_ratio == pytest.approx(expected)
+        assert ell.padding_ratio >= 1.0
+
+    def test_padding_guard_rejects_skewed(self, skewed_coo):
+        with pytest.raises(FormatError, match="padding ratio"):
+            ELLMatrix.from_coo(skewed_coo, max_padding_ratio=2.0)
+
+    def test_padding_guard_allows_regular(self, small_coo):
+        ELLMatrix.from_coo(small_coo, max_padding_ratio=50.0)  # no raise
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_coo(COOMatrix.empty((4, 4)))
+        assert ell.width == 0
+        assert ell.nnz == 0
+        np.testing.assert_array_equal(ell.spmv(np.ones(4)), np.zeros(4))
+
+    def test_rejects_nonzero_padding_values(self):
+        col = np.array([[0, PAD_COL]], dtype=np.int32)
+        val = np.array([[1.0, 5.0]])
+        with pytest.raises(FormatError, match="padding slots"):
+            ELLMatrix((1, 2), col, val)
+
+    def test_rejects_mismatched_planes(self):
+        with pytest.raises(FormatError, match="equal-shape"):
+            ELLMatrix((1, 2), np.zeros((1, 2), np.int32), np.zeros((1, 3)))
+
+    def test_rejects_wrong_row_count(self):
+        with pytest.raises(FormatError, match="one row per matrix row"):
+            ELLMatrix((3, 2), np.zeros((1, 2), np.int32), np.zeros((1, 2)))
+
+
+class TestBehaviour:
+    def test_spmv_matches_dense(self, rng, small_coo):
+        ell = ELLMatrix.from_coo(small_coo)
+        x = rng.standard_normal(small_coo.n_cols)
+        np.testing.assert_allclose(ell.spmv(x), small_coo.to_dense() @ x)
+
+    def test_spmv_on_skewed(self, rng, skewed_coo):
+        ell = ELLMatrix.from_coo(skewed_coo)
+        x = rng.standard_normal(skewed_coo.n_cols)
+        np.testing.assert_allclose(ell.spmv(x), skewed_coo.to_dense() @ x)
+
+    def test_roundtrip(self, small_coo):
+        back = ELLMatrix.from_coo(small_coo).to_coo()
+        np.testing.assert_allclose(back.to_dense(), small_coo.to_dense())
+
+    def test_memory_includes_padding(self, skewed_coo):
+        ell = ELLMatrix.from_coo(skewed_coo)
+        slots = skewed_coo.n_rows * ell.width
+        assert ell.memory_bytes() == slots * (4 + 8)
+        assert ell.memory_bytes() > skewed_coo.memory_bytes()
+
+    def test_single_row_matrix(self):
+        coo = COOMatrix((1, 5), [0, 0, 0], [1, 2, 4], [1.0, 2.0, 3.0])
+        ell = ELLMatrix.from_coo(coo)
+        assert ell.width == 3
+        np.testing.assert_allclose(ell.spmv(np.ones(5)), [6.0])

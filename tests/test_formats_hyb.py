@@ -1,0 +1,105 @@
+"""Unit tests for the HYB (hybrid ELL+COO) format."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    FormatError,
+    HYBMatrix,
+    histogram_threshold,
+    mu_threshold,
+)
+
+
+class TestThresholds:
+    def test_mu_threshold_is_mean_rounded_up(self, small_coo):
+        k = mu_threshold(small_coo)
+        assert k == max(1, math.ceil(small_coo.nnz / small_coo.n_rows))
+
+    def test_mu_threshold_empty(self):
+        assert mu_threshold(COOMatrix.empty((3, 3))) == 0
+
+    def test_histogram_threshold_bounds(self, skewed_coo):
+        k = histogram_threshold(skewed_coo)
+        assert 0 <= k <= int(skewed_coo.row_lengths().max())
+
+    def test_histogram_threshold_small_matrix_spills_nothing(self, small_coo):
+        # budget = max(4096, rows/3) >= rows here, so every width works and
+        # the smallest (0) is chosen: everything in COO is acceptable.
+        assert histogram_threshold(small_coo) >= 0
+
+
+class TestSplit:
+    def test_default_split_uses_mu(self, skewed_coo):
+        hyb = HYBMatrix.from_coo(skewed_coo)
+        assert hyb.threshold <= mu_threshold(skewed_coo)
+
+    def test_split_preserves_nnz(self, skewed_coo):
+        hyb = HYBMatrix.from_coo(skewed_coo)
+        assert hyb.ell.nnz + hyb.coo.nnz == skewed_coo.nnz
+
+    def test_ell_part_width_capped_at_threshold(self, skewed_coo):
+        hyb = HYBMatrix.from_coo(skewed_coo, threshold=3)
+        assert hyb.ell.width <= 3
+
+    def test_spill_rows_only_long_rows(self, skewed_coo):
+        k = 3
+        hyb = HYBMatrix.from_coo(skewed_coo, threshold=k)
+        lengths = skewed_coo.row_lengths()
+        spilled_rows = set(np.unique(hyb.coo.row))
+        long_rows = set(np.flatnonzero(lengths > k))
+        assert spilled_rows == long_rows
+
+    def test_threshold_zero_is_all_coo(self, small_coo):
+        hyb = HYBMatrix.from_coo(small_coo, threshold=0)
+        assert hyb.ell.nnz == 0
+        assert hyb.coo.nnz == small_coo.nnz
+        assert hyb.coo_fraction == 1.0
+
+    def test_huge_threshold_is_all_ell(self, small_coo):
+        hyb = HYBMatrix.from_coo(small_coo, threshold=10_000)
+        assert hyb.coo.nnz == 0
+        assert hyb.coo_fraction == 0.0
+
+    def test_negative_threshold_rejected(self, small_coo):
+        with pytest.raises(FormatError, match="non-negative"):
+            HYBMatrix.from_coo(small_coo, threshold=-1)
+
+    def test_empty_matrix(self):
+        hyb = HYBMatrix.from_coo(COOMatrix.empty((4, 6)))
+        assert hyb.nnz == 0
+        np.testing.assert_array_equal(hyb.spmv(np.ones(6)), np.zeros(4))
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("threshold", [None, 1, 2, 5, 100])
+    def test_spmv_matches_dense_any_threshold(self, rng, skewed_coo, threshold):
+        hyb = HYBMatrix.from_coo(skewed_coo, threshold=threshold)
+        x = rng.standard_normal(skewed_coo.n_cols)
+        np.testing.assert_allclose(hyb.spmv(x), skewed_coo.to_dense() @ x)
+
+    def test_roundtrip(self, skewed_coo):
+        back = HYBMatrix.from_coo(skewed_coo).to_coo()
+        np.testing.assert_allclose(back.to_dense(), skewed_coo.to_dense())
+
+    def test_memory_is_sum_of_parts(self, skewed_coo):
+        hyb = HYBMatrix.from_coo(skewed_coo)
+        assert hyb.memory_bytes() == hyb.ell.memory_bytes() + hyb.coo.memory_bytes()
+
+    def test_mu_split_beats_full_ell_on_skew(self, skewed_coo):
+        from repro.formats import ELLMatrix
+
+        hyb = HYBMatrix.from_coo(skewed_coo)
+        ell = ELLMatrix.from_coo(skewed_coo)
+        assert hyb.memory_bytes() < ell.memory_bytes()
+
+    def test_parts_must_share_shape(self, small_coo):
+        from repro.formats import ELLMatrix
+
+        ell = ELLMatrix.from_coo(small_coo)
+        other = COOMatrix.empty((small_coo.n_rows + 1, small_coo.n_cols))
+        with pytest.raises(FormatError, match="shape"):
+            HYBMatrix(small_coo.shape, ell, other)

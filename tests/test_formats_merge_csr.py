@@ -1,0 +1,91 @@
+"""Unit tests for merge-based CSR, including the merge-path search."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, FormatError, MergeCSRMatrix, merge_path_search
+
+
+class TestMergePathSearch:
+    def test_endpoints(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        total = csr.n_rows + csr.nnz
+        rows, elems = merge_path_search(np.array([0, total]), csr.indptr)
+        assert rows[0] == 0 and elems[0] == 0
+        assert rows[1] == csr.n_rows and elems[1] == csr.nnz
+
+    def test_coordinates_sum_to_diagonal(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        total = csr.n_rows + csr.nnz
+        d = np.arange(0, total + 1, 7)
+        rows, elems = merge_path_search(d, csr.indptr)
+        np.testing.assert_array_equal(rows + elems, d)
+
+    def test_invariant_rows_complete_before_consumed(self, small_coo):
+        # A consumed row's elements must all be consumed: indptr[r] <= e.
+        csr = CSRMatrix.from_coo(small_coo)
+        total = csr.n_rows + csr.nnz
+        d = np.arange(total + 1)
+        rows, elems = merge_path_search(d, csr.indptr)
+        np.testing.assert_array_less(csr.indptr[rows] - 1, elems + 1)
+
+    def test_monotone_in_diagonal(self, skewed_coo):
+        csr = CSRMatrix.from_coo(skewed_coo)
+        d = np.arange(csr.n_rows + csr.nnz + 1)
+        rows, elems = merge_path_search(d, csr.indptr)
+        assert np.all(np.diff(rows) >= 0)
+        assert np.all(np.diff(elems) >= 0)
+
+    def test_out_of_range_diagonal_rejected(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        with pytest.raises(FormatError, match="diagonal"):
+            merge_path_search(np.array([-1]), csr.indptr)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("partitions", [1, 2, 3, 5, 17, 64, 501])
+    def test_spmv_partition_invariance(self, rng, skewed_coo, partitions):
+        m = MergeCSRMatrix.from_coo(skewed_coo, partitions=partitions)
+        x = rng.standard_normal(skewed_coo.n_cols)
+        np.testing.assert_allclose(m.spmv(x), skewed_coo.to_dense() @ x, atol=1e-10)
+
+    def test_spmv_with_empty_rows(self, rng):
+        coo = COOMatrix((6, 4), [1, 1, 4], [0, 3, 2], [1.0, 2.0, 3.0])
+        m = MergeCSRMatrix.from_coo(coo, partitions=4)
+        x = rng.standard_normal(4)
+        np.testing.assert_allclose(m.spmv(x), coo.to_dense() @ x)
+
+    def test_one_giant_row_spanning_partitions(self, rng):
+        coo = COOMatrix((2, 500), np.zeros(400, int), np.arange(400), np.ones(400))
+        m = MergeCSRMatrix.from_coo(coo, partitions=16)
+        y = m.spmv(np.ones(500))
+        assert y[0] == pytest.approx(400.0)
+        assert y[1] == 0.0
+
+    def test_partition_coordinates_cover_work(self, small_coo):
+        m = MergeCSRMatrix.from_coo(small_coo, partitions=8)
+        rows, elems = m.partition_coordinates()
+        assert rows.size == 9
+        assert rows[-1] == m.n_rows and elems[-1] == m.nnz
+
+    def test_shares_csr_arrays(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        m = MergeCSRMatrix(csr)
+        assert m.indices is csr.indices
+        assert m.data is csr.data
+
+    def test_rejects_non_csr(self, small_coo):
+        with pytest.raises(FormatError, match="wraps a CSRMatrix"):
+            MergeCSRMatrix(small_coo)
+
+    def test_rejects_nonpositive_partitions(self, small_coo):
+        with pytest.raises(FormatError, match="positive"):
+            MergeCSRMatrix.from_coo(small_coo, partitions=0)
+
+    def test_empty_matrix(self):
+        m = MergeCSRMatrix.from_coo(COOMatrix.empty((4, 4)))
+        np.testing.assert_array_equal(m.spmv(np.ones(4)), np.zeros(4))
+
+    def test_roundtrip(self, skewed_coo):
+        back = MergeCSRMatrix.from_coo(skewed_coo).to_coo()
+        np.testing.assert_allclose(back.to_dense(), skewed_coo.to_dense())

@@ -1,0 +1,102 @@
+"""Property-based tests over all formats (hypothesis).
+
+Invariants:
+
+* every format computes the same ``A @ x`` as the dense oracle and as
+  ``scipy.sparse`` (scipy is used *only* here, as an oracle);
+* conversion round-trips are lossless for any structure;
+* nnz and memory accounting are consistent;
+* merge-path SpMV is invariant to the partition count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FORMAT_NAMES, COOMatrix, MergeCSRMatrix, as_format
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+
+@st.composite
+def sparse_matrices(draw):
+    """Random COO matrices with adversarial shapes and densities."""
+    m = draw(st.integers(1, 30))
+    n = draw(st.integers(1, 30))
+    nnz = draw(st.integers(0, m * n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if nnz:
+        cells = rng.choice(m * n, size=min(nnz, m * n), replace=False)
+        row, col = np.divmod(cells, n)
+        val = rng.standard_normal(cells.size)
+        val[val == 0] = 1.0
+    else:
+        row = col = np.zeros(0, dtype=np.int64)
+        val = np.zeros(0)
+    return COOMatrix((m, n), row, col, val)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo=sparse_matrices(), fmt=st.sampled_from(FORMAT_NAMES))
+def test_spmv_matches_dense_oracle(coo, fmt):
+    A = as_format(coo, fmt)
+    rng = np.random.default_rng(coo.nnz + 17)
+    x = rng.standard_normal(coo.n_cols)
+    np.testing.assert_allclose(A.spmv(x), coo.to_dense() @ x, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(coo=sparse_matrices(), fmt=st.sampled_from(FORMAT_NAMES))
+def test_spmv_matches_scipy(coo, fmt):
+    A = as_format(coo, fmt)
+    S = scipy_sparse.coo_matrix(
+        (coo.val, (coo.row, coo.col)), shape=coo.shape
+    ).tocsr()
+    x = np.linspace(-1.0, 1.0, coo.n_cols)
+    np.testing.assert_allclose(A.spmv(x), S @ x, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo=sparse_matrices(), fmt=st.sampled_from(FORMAT_NAMES))
+def test_roundtrip_lossless(coo, fmt):
+    A = as_format(coo, fmt)
+    back = A.to_coo()
+    assert back.shape == coo.shape
+    np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo=sparse_matrices(), fmt=st.sampled_from(FORMAT_NAMES))
+def test_nnz_preserved(coo, fmt):
+    assert as_format(coo, fmt).nnz == coo.nnz
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo=sparse_matrices(), fmt=st.sampled_from(FORMAT_NAMES))
+def test_memory_positive_and_bounded_below_by_values(coo, fmt):
+    A = as_format(coo, fmt)
+    assert A.memory_bytes() >= coo.nnz * coo.dtype.itemsize
+
+
+@settings(max_examples=25, deadline=None)
+@given(coo=sparse_matrices(), parts=st.integers(1, 100))
+def test_merge_partition_invariance(coo, parts):
+    m = MergeCSRMatrix.from_coo(coo, partitions=parts)
+    x = np.ones(coo.n_cols)
+    np.testing.assert_allclose(m.spmv(x), coo.to_dense() @ x, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(coo=sparse_matrices())
+def test_spmv_linearity(coo):
+    """A @ (a x + b y) == a (A @ x) + b (A @ y) for every format."""
+    rng = np.random.default_rng(coo.nnz + 3)
+    x = rng.standard_normal(coo.n_cols)
+    y = rng.standard_normal(coo.n_cols)
+    for fmt in ("csr", "csr5", "merge_csr"):
+        A = as_format(coo, fmt)
+        lhs = A.spmv(2.0 * x - 3.0 * y)
+        rhs = 2.0 * A.spmv(x) - 3.0 * A.spmv(y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8)

@@ -1,0 +1,63 @@
+"""Behavioural tests for the DIA/BSR kernel cost models."""
+
+import pytest
+
+from repro.gpu import KEPLER_K40C, PASCAL_P100, estimate_time, profile_matrix
+from repro.matrices import banded, fem_blocks, multi_diagonal, random_uniform
+
+
+@pytest.fixture(scope="module")
+def band_profile():
+    return profile_matrix(banded(80_000, 80_000, bandwidth=9, fill=1.0, seed=0))
+
+
+@pytest.fixture(scope="module")
+def scattered_profile():
+    return profile_matrix(random_uniform(40_000, 40_000, nnz=400_000, seed=0))
+
+
+class TestDIAModel:
+    def test_dia_wins_on_pure_band(self, band_profile):
+        dia = estimate_time("dia", band_profile, KEPLER_K40C, "single").seconds
+        for other in ("csr", "ell", "csr5"):
+            assert dia < estimate_time(other, band_profile, KEPLER_K40C, "single").seconds
+
+    def test_dia_dies_on_scatter(self, scattered_profile):
+        dia = estimate_time("dia", scattered_profile, KEPLER_K40C, "single").seconds
+        csr = estimate_time("csr", scattered_profile, KEPLER_K40C, "single").seconds
+        assert dia > 10 * csr
+
+    def test_dia_bytes_scale_with_diagonals(self):
+        few = profile_matrix(multi_diagonal(20_000, offsets=(-1, 0, 1), seed=0))
+        many = profile_matrix(
+            multi_diagonal(20_000, offsets=tuple(range(-10, 11)), seed=0)
+        )
+        b_few = estimate_time("dia", few, KEPLER_K40C, "single").matrix_bytes
+        b_many = estimate_time("dia", many, KEPLER_K40C, "single").matrix_bytes
+        assert b_many > 5 * b_few
+
+
+class TestBSRModel:
+    def test_bsr_competitive_on_blocks(self):
+        prof = profile_matrix(fem_blocks(4000, 16, block_fill=0.9, seed=1))
+        bsr = estimate_time("bsr", prof, KEPLER_K40C, "single").seconds
+        csr = estimate_time("csr", prof, KEPLER_K40C, "single").seconds
+        assert bsr < 1.2 * csr
+
+    def test_bsr_pays_fill_on_scatter(self, scattered_profile):
+        bsr = estimate_time("bsr", scattered_profile, KEPLER_K40C, "single")
+        csr = estimate_time("csr", scattered_profile, KEPLER_K40C, "single")
+        # Near-one-entry-per-block: ~16x value traffic.
+        assert bsr.matrix_bytes > 4 * csr.matrix_bytes
+
+    def test_pascal_faster(self, band_profile):
+        for fmt in ("dia", "bsr"):
+            k = estimate_time(fmt, band_profile, KEPLER_K40C, "single").seconds
+            p = estimate_time(fmt, band_profile, PASCAL_P100, "single").seconds
+            assert p < k
+
+    def test_double_slower(self, band_profile):
+        for fmt in ("dia", "bsr"):
+            s = estimate_time(fmt, band_profile, KEPLER_K40C, "single").seconds
+            d = estimate_time(fmt, band_profile, KEPLER_K40C, "double").seconds
+            assert d > s

@@ -1,0 +1,138 @@
+"""Behavioural properties of the per-format kernel cost models.
+
+These encode the mechanisms the paper describes: ELL's padding
+sensitivity, CSR's row-variance sensitivity, the insensitivity of
+COO/CSR5/merge-CSR, Kepler's weak fp64 atomics, and the small-matrix
+GFLOPS ramp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES
+from repro.gpu import (
+    KEPLER_K40C,
+    PASCAL_P100,
+    estimate_time,
+    profile_matrix,
+)
+from repro.matrices import banded, power_law, random_uniform
+
+
+@pytest.fixture(scope="module")
+def regular_profile():
+    return profile_matrix(banded(50_000, 50_000, bandwidth=10, fill=1.0, seed=0))
+
+
+@pytest.fixture(scope="module")
+def skewed_profile():
+    return profile_matrix(power_law(50_000, 50_000, nnz=500_000, alpha=1.7, seed=0))
+
+
+class TestBasics:
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_positive_time_and_flops(self, regular_profile, fmt):
+        cb = estimate_time(fmt, regular_profile, KEPLER_K40C, "single")
+        assert cb.seconds > 0
+        assert cb.flops == 2.0 * regular_profile.nnz
+        assert cb.gflops > 0
+
+    def test_unknown_format_rejected(self, regular_profile):
+        with pytest.raises(KeyError, match="unknown format"):
+            estimate_time("sell_c_sigma", regular_profile, KEPLER_K40C, "single")
+
+    def test_unknown_precision_rejected(self, regular_profile):
+        with pytest.raises(ValueError, match="precision"):
+            estimate_time("csr", regular_profile, KEPLER_K40C, "half")
+
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_double_slower_than_single(self, regular_profile, fmt):
+        s = estimate_time(fmt, regular_profile, KEPLER_K40C, "single").seconds
+        d = estimate_time(fmt, regular_profile, KEPLER_K40C, "double").seconds
+        assert d > s
+
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_pascal_faster_than_kepler(self, regular_profile, fmt):
+        k = estimate_time(fmt, regular_profile, KEPLER_K40C, "single").seconds
+        p = estimate_time(fmt, regular_profile, PASCAL_P100, "single").seconds
+        assert p < k
+
+
+class TestStructureSensitivity:
+    def test_more_nnz_takes_longer(self):
+        small = profile_matrix(banded(20_000, 20_000, bandwidth=8, seed=1))
+        big = profile_matrix(banded(200_000, 200_000, bandwidth=8, seed=1))
+        for fmt in FORMAT_NAMES:
+            assert (
+                estimate_time(fmt, big, KEPLER_K40C, "single").seconds
+                > estimate_time(fmt, small, KEPLER_K40C, "single").seconds
+            )
+
+    def test_ell_blows_up_with_padding(self, regular_profile, skewed_profile):
+        ell_ratio = (
+            estimate_time("ell", skewed_profile, KEPLER_K40C, "single").seconds
+            / estimate_time("ell", regular_profile, KEPLER_K40C, "single").seconds
+        )
+        csr5_ratio = (
+            estimate_time("csr5", skewed_profile, KEPLER_K40C, "single").seconds
+            / estimate_time("csr5", regular_profile, KEPLER_K40C, "single").seconds
+        )
+        assert ell_ratio > 10 * csr5_ratio
+
+    def test_csr_suffers_on_skew_vs_merge(self, skewed_profile):
+        csr = estimate_time("csr", skewed_profile, KEPLER_K40C, "single")
+        merge = estimate_time("merge_csr", skewed_profile, KEPLER_K40C, "single")
+        assert merge.seconds < csr.seconds
+
+    def test_load_balanced_formats_insensitive(self, regular_profile, skewed_profile):
+        """CSR5/merge per-nnz cost varies little between structures."""
+        for fmt in ("csr5", "merge_csr"):
+            t_reg = estimate_time(fmt, regular_profile, KEPLER_K40C, "single").seconds
+            t_skew = estimate_time(fmt, skewed_profile, KEPLER_K40C, "single").seconds
+            per_nnz_reg = t_reg / regular_profile.nnz
+            per_nnz_skew = t_skew / skewed_profile.nnz
+            assert 0.4 < per_nnz_reg / per_nnz_skew < 2.5
+
+    def test_ell_wins_on_very_regular(self, regular_profile):
+        times = {
+            f: estimate_time(f, regular_profile, KEPLER_K40C, "single").seconds
+            for f in FORMAT_NAMES
+        }
+        assert min(times, key=times.get) == "ell"
+
+    def test_kepler_double_atomics_hurt_coo_and_hyb(self, skewed_profile):
+        """Kepler fp64 atomics are CAS loops: COO/HYB degrade more than CSR."""
+        def slowdown(fmt, dev):
+            s = estimate_time(fmt, skewed_profile, dev, "single").seconds
+            d = estimate_time(fmt, skewed_profile, dev, "double").seconds
+            return d / s
+
+        assert slowdown("coo", KEPLER_K40C) > slowdown("csr5", KEPLER_K40C)
+
+
+class TestRoofline:
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_gflops_below_bandwidth_roofline(self, regular_profile, fmt):
+        cb = estimate_time(fmt, regular_profile, KEPLER_K40C, "single")
+        # 2 flops per (value + index) = 8 bytes minimum traffic.
+        roofline = 2.0 * KEPLER_K40C.peak_bandwidth / 8.0 / 1e9
+        assert cb.gflops < roofline
+
+    def test_small_matrix_gflops_ramp(self):
+        """GFLOPS grow with size at the small end (paper Fig. 3 shape)."""
+        sizes = (2_000, 20_000, 200_000)
+        gf = []
+        for n in sizes:
+            # Banded structure keeps locality constant so the ramp is the
+            # pure latency/occupancy effect.
+            prof = profile_matrix(banded(n, n, bandwidth=8, seed=2))
+            gf.append(estimate_time("csr", prof, KEPLER_K40C, "single").gflops)
+        assert gf[0] < gf[1] < gf[2]
+
+    def test_kepler_peak_in_paper_band(self):
+        """Best-case single-precision SpMV on Kepler ~15-35 GFLOPS (Fig. 3)."""
+        prof = profile_matrix(banded(500_000, 500_000, bandwidth=16, seed=3))
+        best = max(
+            estimate_time(f, prof, KEPLER_K40C, "single").gflops for f in FORMAT_NAMES
+        )
+        assert 10.0 < best < 45.0

@@ -1,0 +1,64 @@
+"""Tests for the measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import NoiseModel
+
+
+class TestStructuralFactor:
+    def test_deterministic(self):
+        nm = NoiseModel(0.05, 0.0, seed=1)
+        a = nm.structural_factor(b"digest", "csr", "K40c", "single")
+        b = nm.structural_factor(b"digest", "csr", "K40c", "single")
+        assert a == b
+
+    def test_varies_with_every_key_component(self):
+        nm = NoiseModel(0.05, 0.0, seed=1)
+        base = nm.structural_factor(b"digest", "csr", "K40c", "single")
+        assert nm.structural_factor(b"other", "csr", "K40c", "single") != base
+        assert nm.structural_factor(b"digest", "ell", "K40c", "single") != base
+        assert nm.structural_factor(b"digest", "csr", "P100", "single") != base
+        assert nm.structural_factor(b"digest", "csr", "K40c", "double") != base
+
+    def test_seed_gives_new_hardware_instance(self):
+        a = NoiseModel(0.05, 0.0, seed=1).structural_factor(b"d", "csr", "K", "single")
+        b = NoiseModel(0.05, 0.0, seed=2).structural_factor(b"d", "csr", "K", "single")
+        assert a != b
+
+    def test_zero_sigma_is_identity(self):
+        nm = NoiseModel(0.0, 0.0)
+        assert nm.structural_factor(b"d", "csr", "K", "single") == 1.0
+
+    def test_mean_is_approximately_one(self):
+        nm = NoiseModel(0.10, 0.0, seed=0)
+        factors = [
+            nm.structural_factor(i.to_bytes(4, "little"), "csr", "K", "single")
+            for i in range(2000)
+        ]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.02)
+        assert all(f > 0 for f in factors)
+
+
+class TestRunJitter:
+    def test_shape_and_positivity(self):
+        nm = NoiseModel(0.0, 0.05)
+        f = nm.run_factors(np.random.default_rng(0), 100)
+        assert f.shape == (100,)
+        assert np.all(f > 0)
+
+    def test_zero_sigma(self):
+        nm = NoiseModel(0.0, 0.0)
+        np.testing.assert_array_equal(nm.run_factors(np.random.default_rng(0), 5), 1.0)
+
+    def test_mean_one(self):
+        nm = NoiseModel(0.0, 0.10)
+        f = nm.run_factors(np.random.default_rng(1), 100_000)
+        assert f.mean() == pytest.approx(1.0, abs=0.01)
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        NoiseModel(-0.1, 0.0)
+    with pytest.raises(ValueError, match="non-negative"):
+        NoiseModel(0.0, -0.1)

@@ -1,0 +1,105 @@
+"""Tests for the one-pass matrix profiler."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.gpu import profile_matrix
+from repro.matrices import banded, clustered, power_law
+
+
+class TestRowStatistics:
+    def test_matches_numpy(self, small_coo):
+        prof = profile_matrix(small_coo)
+        lengths = small_coo.row_lengths()
+        assert prof.nnz_mu == pytest.approx(lengths.mean())
+        assert prof.nnz_sigma == pytest.approx(lengths.std())
+        assert prof.nnz_max == lengths.max()
+        assert prof.nnz_min == lengths.min()
+        assert prof.empty_rows == int((lengths == 0).sum())
+
+    def test_density(self, small_coo):
+        prof = profile_matrix(small_coo)
+        assert prof.density == pytest.approx(
+            small_coo.nnz / (small_coo.n_rows * small_coo.n_cols)
+        )
+
+    def test_empty_matrix(self):
+        prof = profile_matrix(COOMatrix.empty((5, 5)))
+        assert prof.nnz == 0
+        assert prof.warp_divergence == 1.0
+        assert prof.ell_padding_ratio == 1.0
+
+
+class TestWarpFactors:
+    def test_uniform_rows_have_no_divergence(self):
+        A = banded(256, 256, bandwidth=4, fill=1.0, seed=0)
+        prof = profile_matrix(A)
+        # Nearly equal row lengths: warp max ~= mean.
+        assert prof.warp_divergence < 1.3
+
+    def test_skew_increases_divergence(self, skewed_coo):
+        prof = profile_matrix(skewed_coo)
+        assert prof.warp_divergence > 2.0
+
+    def test_vector_waste_for_short_rows(self):
+        A = banded(256, 256, bandwidth=4, fill=1.0, seed=0)
+        prof = profile_matrix(A)
+        # 4-long rows waste 28 of 32 lanes in a warp-per-row kernel.
+        assert prof.vector_waste == pytest.approx(8.0, rel=0.1)
+
+    def test_wide_rows_waste_little(self):
+        A = banded(128, 4096, bandwidth=640, fill=1.0, seed=0)
+        prof = profile_matrix(A)
+        assert prof.vector_waste < 1.15
+
+
+class TestHybSplit:
+    def test_split_consistent_with_format(self, skewed_coo):
+        from repro.formats import HYBMatrix
+
+        prof = profile_matrix(skewed_coo)
+        hyb = HYBMatrix.from_coo(skewed_coo, threshold=prof.hyb_threshold)
+        assert prof.hyb_ell_nnz == hyb.ell.nnz
+        assert prof.hyb_spill_nnz == hyb.coo.nnz
+        assert prof.hyb_spill_rows == np.unique(hyb.coo.row).size
+
+
+class TestGatherStats:
+    def test_double_lines_hold_fewer_elements(self, small_coo):
+        prof = profile_matrix(small_coo)
+        assert prof.gather["single"].elems_per_line == 32
+        assert prof.gather["double"].elems_per_line == 16
+        assert (
+            prof.gather["double"].unique_lines >= prof.gather["single"].unique_lines
+        )
+
+    def test_clustered_touches_fewer_lines_than_scattered(self):
+        from repro.matrices import random_uniform
+
+        n, nnz = 4000, 40_000
+        local = clustered(n, n, nnz=nnz, chunk=16, seed=1)
+        scattered = random_uniform(n, n, nnz=nnz, seed=1)
+        pl = profile_matrix(local).gather["single"]
+        ps = profile_matrix(scattered).gather["single"]
+        assert pl.line_fetches < ps.line_fetches
+
+    def test_line_fetches_bounds(self, small_coo):
+        g = profile_matrix(small_coo).gather["single"]
+        assert g.unique_lines <= g.line_fetches <= small_coo.nnz
+        assert g.unique_lines <= g.x_lines
+
+
+class TestDigest:
+    def test_deterministic(self, small_coo):
+        assert profile_matrix(small_coo).digest == profile_matrix(small_coo).digest
+
+    def test_distinguishes_structures(self, small_coo, skewed_coo):
+        assert profile_matrix(small_coo).digest != profile_matrix(skewed_coo).digest
+
+    def test_value_changes_do_not_change_digest(self, small_coo):
+        scaled = COOMatrix(
+            small_coo.shape, small_coo.row, small_coo.col, 2.0 * small_coo.val,
+            canonical=False,
+        )
+        assert profile_matrix(scaled).digest == profile_matrix(small_coo).digest

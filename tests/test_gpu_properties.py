@@ -1,0 +1,97 @@
+"""Property-based tests of the GPU simulator (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FORMAT_NAMES, COOMatrix
+from repro.gpu import (
+    KEPLER_K40C,
+    PASCAL_P100,
+    NoiseModel,
+    SpMVExecutor,
+    estimate_time,
+    profile_matrix,
+)
+
+
+@st.composite
+def random_structures(draw):
+    m = draw(st.integers(2, 60))
+    n = draw(st.integers(2, 60))
+    seed = draw(st.integers(0, 10_000))
+    density = draw(st.floats(0.01, 0.5))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((m, n)) < density) * 1.0
+    if not dense.any():
+        dense[0, 0] = 1.0
+    return COOMatrix.from_dense(dense)
+
+
+@settings(max_examples=30, deadline=None)
+@given(coo=random_structures(), fmt=st.sampled_from(FORMAT_NAMES),
+       precision=st.sampled_from(["single", "double"]))
+def test_estimates_positive_and_finite(coo, fmt, precision):
+    prof = profile_matrix(coo)
+    for device in (KEPLER_K40C, PASCAL_P100):
+        cb = estimate_time(fmt, prof, device, precision)
+        assert np.isfinite(cb.seconds) and cb.seconds > 0
+        assert cb.matrix_bytes >= 0 and cb.x_bytes >= 0 and cb.y_bytes >= 0
+        assert cb.imbalance >= 1.0
+        assert 0 < cb.efficiency <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(coo=random_structures(), fmt=st.sampled_from(FORMAT_NAMES))
+def test_profile_scale_invariance_of_values(coo, fmt):
+    """Timing depends only on structure: rescaling values changes nothing."""
+    scaled = COOMatrix(coo.shape, coo.row, coo.col, 5.0 * coo.val, canonical=False)
+    a = estimate_time(fmt, profile_matrix(coo), KEPLER_K40C, "single").seconds
+    b = estimate_time(fmt, profile_matrix(scaled), KEPLER_K40C, "single").seconds
+    assert a == b
+
+
+@settings(max_examples=20, deadline=None)
+@given(coo=random_structures(), reps=st.integers(1, 60),
+       seed=st.integers(0, 100))
+def test_benchmark_mean_tracks_estimate(coo, reps, seed):
+    """The noisy mean stays within a few sigma of the deterministic model."""
+    ex = SpMVExecutor(KEPLER_K40C, "single", seed=seed,
+                      noise=NoiseModel(0.02, 0.03))
+    det = ex.estimate(coo, "csr").seconds
+    mean = ex.benchmark(coo, "csr", reps=reps).seconds
+    assert 0.7 * det < mean < 1.4 * det
+
+
+@settings(max_examples=20, deadline=None)
+@given(coo=random_structures())
+def test_row_permutation_changes_little_for_balanced_formats(coo):
+    """COO/CSR5/merge are (near) insensitive to row order, per the paper."""
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(coo.n_rows)
+    shuffled = COOMatrix(coo.shape, perm[coo.row], coo.col, coo.val)
+    for fmt in ("coo", "csr5", "merge_csr"):
+        a = estimate_time(fmt, profile_matrix(coo), KEPLER_K40C, "single").seconds
+        b = estimate_time(fmt, profile_matrix(shuffled), KEPLER_K40C, "single").seconds
+        # Identical row-length multiset; only locality shifts slightly.
+        assert 0.6 < a / b < 1.7, fmt
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 12), min_size=1, max_size=40),
+       st.integers(0, 10_000))
+def test_merge_path_search_total_coverage(lengths, seed):
+    """Merge-path coordinates are monotone, exhaustive and consistent for
+    arbitrary row-length distributions (incl. empty rows)."""
+    from repro.formats import merge_path_search
+
+    indptr = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    n_rows, nnz = len(lengths), int(indptr[-1])
+    d = np.arange(n_rows + nnz + 1)
+    rows, elems = merge_path_search(d, indptr)
+    np.testing.assert_array_equal(rows + elems, d)
+    assert np.all(np.diff(rows) >= 0) and np.all(np.diff(elems) >= 0)
+    assert np.all(np.diff(rows) <= 1) or nnz == 0
+    # Invariant: a consumed row's elements are all consumed.
+    np.testing.assert_array_less(indptr[rows], elems + 1)

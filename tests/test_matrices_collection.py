@@ -1,0 +1,89 @@
+"""Tests for the SuiteSparse-shaped corpus sampler."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import NNZ_BINS, SyntheticCorpus, table1_statistics
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = SyntheticCorpus(scale=0.01, seed=5, max_nnz=100_000)
+        b = SyntheticCorpus(scale=0.01, seed=5, max_nnz=100_000)
+        assert [e.name for e in a] == [e.name for e in b]
+        assert [e.params for e in a] == [e.params for e in b]
+
+    def test_scaled_bin_counts(self):
+        corpus = SyntheticCorpus(scale=0.05, seed=0, max_nnz=10**9)
+        counts = {}
+        for e in corpus:
+            counts[e.bin_index] = counts.get(e.bin_index, 0) + 1
+        for b, (lo, hi, n) in enumerate(NNZ_BINS):
+            assert counts.get(b, 0) == max(1, round(0.05 * n))
+
+    def test_max_nnz_prunes_large_bins(self):
+        corpus = SyntheticCorpus(scale=0.05, seed=0, max_nnz=100_000)
+        assert all(e.target_nnz <= 100_000 for e in corpus)
+        # Bins whose lower edge exceeds the cap are skipped entirely
+        # (bin 3 starts exactly at the cap, so it survives, clipped).
+        assert max(e.bin_index for e in corpus) <= 3
+
+    def test_family_restriction(self):
+        corpus = SyntheticCorpus(
+            scale=0.02, seed=0, max_nnz=50_000, families=("banded", "power_law")
+        )
+        assert {e.family for e in corpus} <= {"banded", "power_law"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            SyntheticCorpus(scale=0.01, families=("dia",))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SyntheticCorpus(scale=0.0)
+
+    def test_entries_build_near_target_nnz(self):
+        corpus = SyntheticCorpus(scale=0.01, seed=2, max_nnz=100_000)
+        for e in corpus.entries[:12]:
+            m = e.build()
+            assert m.nnz > 0
+            # Generators approximate the target loosely (dedup, rounding,
+            # family parameterisation) but stay within an order of magnitude.
+            assert m.nnz > e.target_nnz / 12
+            assert m.nnz < e.target_nnz * 12
+
+    def test_build_is_deterministic(self):
+        corpus = SyntheticCorpus(scale=0.01, seed=2, max_nnz=50_000)
+        e = corpus.entries[0]
+        m1, m2 = e.build(), e.build()
+        np.testing.assert_array_equal(m1.row, m2.row)
+
+    def test_build_all_yields_every_entry(self):
+        corpus = SyntheticCorpus(scale=0.01, seed=1, max_nnz=20_000)
+        pairs = list(corpus.build_all())
+        assert len(pairs) == len(corpus)
+
+
+class TestTable1:
+    def test_statistics_shape(self):
+        corpus = SyntheticCorpus(scale=0.01, seed=0, max_nnz=100_000)
+        rows = table1_statistics(corpus)
+        assert rows
+        for r in rows:
+            assert r["count"] >= 1
+            assert r["avg_rows"] > 0
+            assert 0 < r["avg_density_pct"] <= 100
+            assert r["avg_nnz_mu"] > 0
+
+    def test_density_falls_with_size(self):
+        corpus = SyntheticCorpus(scale=0.03, seed=0, max_nnz=3_000_000)
+        rows = table1_statistics(corpus)
+        assert rows[0]["avg_density_pct"] > rows[-1]["avg_density_pct"]
+
+    def test_profiles_can_be_reused(self):
+        from repro.gpu import profile_matrix
+
+        corpus = SyntheticCorpus(scale=0.005, seed=0, max_nnz=20_000)
+        profiles = {e.name: profile_matrix(e.build()) for e in corpus}
+        rows = table1_statistics(corpus, profiles=profiles)
+        assert sum(r["count"] for r in rows) == len(corpus)

@@ -1,0 +1,157 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    GENERATOR_FAMILIES,
+    banded,
+    clustered,
+    dense_rows,
+    fem_blocks,
+    multi_diagonal,
+    power_law,
+    random_uniform,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: random_uniform(50, 60, nnz=300, seed=s),
+            lambda s: banded(100, 100, bandwidth=5, fill=0.9, seed=s),
+            lambda s: power_law(100, 100, nnz=800, seed=s),
+            lambda s: rmat(7, edge_factor=4, seed=s),
+            lambda s: clustered(80, 80, nnz=400, seed=s),
+            lambda s: dense_rows(80, 80, base_density=0.01, n_dense=2, seed=s),
+            lambda s: fem_blocks(8, 10, seed=s),
+        ],
+    )
+    def test_same_seed_same_matrix(self, make):
+        a, b = make(42), make(42)
+        np.testing.assert_array_equal(a.row, b.row)
+        np.testing.assert_array_equal(a.col, b.col)
+        np.testing.assert_allclose(a.val, b.val)
+
+    def test_different_seed_different_matrix(self):
+        a = random_uniform(100, 100, nnz=500, seed=1)
+        b = random_uniform(100, 100, nnz=500, seed=2)
+        assert not (
+            a.nnz == b.nnz
+            and np.array_equal(a.row, b.row)
+            and np.array_equal(a.col, b.col)
+        )
+
+
+class TestStructure:
+    def test_random_uniform_hits_nnz_target(self):
+        m = random_uniform(1000, 1000, nnz=5000, seed=0)
+        assert 0.95 * 5000 <= m.nnz <= 5000
+
+    def test_random_uniform_density_mode(self):
+        m = random_uniform(200, 200, density=0.05, seed=0)
+        assert abs(m.nnz - 2000) < 200
+
+    def test_random_uniform_dense_regime_exact(self):
+        m = random_uniform(30, 30, nnz=500, seed=0)
+        assert m.nnz == 500  # sampled without replacement
+
+    def test_banded_stays_in_band(self):
+        bw = 7
+        m = banded(200, 200, bandwidth=bw, fill=1.0, seed=0)
+        assert np.all(np.abs(m.col - m.row) <= bw)
+        lengths = m.row_lengths()
+        assert lengths.max() - lengths.min() <= bw  # near-uniform rows
+
+    def test_banded_rectangular_follows_diagonal(self):
+        m = banded(100, 300, bandwidth=5, fill=1.0, seed=0)
+        assert np.all(np.abs(m.col - 3 * m.row) <= 5 + 3)
+
+    def test_multi_diagonal_offsets(self):
+        offs = (-3, 0, 2)
+        m = multi_diagonal(50, offsets=offs, fill=1.0, seed=0)
+        assert set(np.unique(m.col - m.row)) == set(offs)
+
+    def test_stencil_2d_row_degree(self):
+        m = stencil_2d(10, 10, points=5)
+        assert m.shape == (100, 100)
+        assert m.row_lengths().max() == 5  # interior nodes
+        assert m.row_lengths().min() == 3  # corner nodes
+        # Symmetric stencil => symmetric matrix.
+        np.testing.assert_allclose(
+            (m.to_dense() != 0), (m.to_dense() != 0).T
+        )
+
+    def test_stencil_3d_row_degree(self):
+        m = stencil_3d(5, 5, 5, points=7)
+        assert m.shape == (125, 125)
+        assert m.row_lengths().max() == 7
+        assert m.row_lengths().min() == 4
+
+    def test_power_law_is_heavy_tailed(self):
+        m = power_law(2000, 2000, nnz=40_000, alpha=2.5, seed=1)
+        lengths = np.sort(m.row_lengths())[::-1]
+        # Top 1% of rows hold a disproportionate share of nnz.
+        top = lengths[:20].sum()
+        assert top > 0.15 * m.nnz
+
+    def test_rmat_shape_is_power_of_two(self):
+        m = rmat(8, edge_factor=4, seed=0)
+        assert m.shape == (256, 256)
+
+    def test_rmat_skewed_degrees(self):
+        m = rmat(10, edge_factor=16, seed=0)
+        lengths = m.row_lengths()
+        assert lengths.max() > 5 * max(lengths.mean(), 1)
+
+    def test_dense_rows_background_is_regular(self):
+        m = dense_rows(500, 500, base_density=0.02, n_dense=2, dense_fill=0.5, seed=0)
+        lengths = m.row_lengths()
+        # All but the dense rows have (about) k entries.
+        k = max(1, int(round(0.02 * 500)))
+        regular = np.sort(lengths)[:-2]
+        assert regular.max() <= k  # duplicates can only shrink a row
+        assert np.sort(lengths)[-2:].min() > 5 * k
+
+    def test_clustered_has_contiguous_chunks(self):
+        m = clustered(300, 300, nnz=3000, chunk=10, seed=0)
+        from repro.features import extract_features
+
+        f = extract_features(m)
+        assert f["snzb_mu"] > 3.0  # chunks clearly longer than scattered (~1)
+
+    def test_fem_blocks_block_diagonal_plus_coupling(self):
+        m = fem_blocks(4, 10, coupling=0.0, seed=0)
+        # Pure block-diagonal: |row - col| < block size within a block.
+        assert np.all((m.row // 10) == (m.col // 10))
+
+
+class TestValidation:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            random_uniform(0, 5, nnz=1)
+
+    def test_rejects_both_nnz_and_density(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            random_uniform(5, 5, nnz=3, density=0.1)
+
+    def test_rejects_bad_stencil(self):
+        with pytest.raises(ValueError, match="points"):
+            stencil_2d(5, 5, points=7)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            power_law(5, 5, nnz=10, alpha=1.0)
+
+    def test_rejects_bad_rmat_probs(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            rmat(4, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_registry_covers_all(self):
+        assert len(GENERATOR_FAMILIES) == 10
+        for gen in GENERATOR_FAMILIES.values():
+            assert callable(gen)

@@ -1,0 +1,104 @@
+"""Tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrices import MatrixMarketError, read_matrix_market, write_matrix_market
+
+
+def test_roundtrip_through_file(tmp_path, small_coo):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(small_coo, path, comment="test matrix")
+    back = read_matrix_market(path)
+    assert back.shape == small_coo.shape
+    np.testing.assert_allclose(back.to_dense(), small_coo.to_dense())
+
+
+def test_roundtrip_through_handles(small_coo):
+    buf = io.StringIO()
+    write_matrix_market(small_coo, buf)
+    back = read_matrix_market(io.StringIO(buf.getvalue()))
+    np.testing.assert_allclose(back.to_dense(), small_coo.to_dense())
+
+
+def test_values_roundtrip_exactly(small_coo):
+    buf = io.StringIO()
+    write_matrix_market(small_coo, buf)
+    back = read_matrix_market(io.StringIO(buf.getvalue()))
+    np.testing.assert_array_equal(back.val, small_coo.val)  # %.17g is lossless
+
+
+def test_read_pattern_matrix():
+    text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 1\n3 2\n"
+    m = read_matrix_market(io.StringIO(text))
+    assert m.nnz == 2
+    assert m.to_dense()[0, 0] == 1.0
+    assert m.to_dense()[2, 1] == 1.0
+
+
+def test_read_symmetric_expands():
+    text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n"
+    m = read_matrix_market(io.StringIO(text))
+    dense = m.to_dense()
+    assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+    assert dense[2, 2] == 7.0
+    assert m.nnz == 3
+
+
+def test_read_skew_symmetric():
+    text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n"
+    m = read_matrix_market(io.StringIO(text))
+    dense = m.to_dense()
+    assert dense[1, 0] == 4.0 and dense[0, 1] == -4.0
+
+
+def test_read_with_comments():
+    text = "%%MatrixMarket matrix coordinate real general\n% a comment\n%another\n2 2 1\n1 2 3.5\n"
+    m = read_matrix_market(io.StringIO(text))
+    assert m.to_dense()[0, 1] == 3.5
+
+
+def test_read_empty_matrix():
+    text = "%%MatrixMarket matrix coordinate real general\n4 5 0\n"
+    m = read_matrix_market(io.StringIO(text))
+    assert m.shape == (4, 5)
+    assert m.nnz == 0
+
+
+def test_rejects_missing_header():
+    with pytest.raises(MatrixMarketError, match="header"):
+        read_matrix_market(io.StringIO("2 2 1\n1 1 1.0\n"))
+
+
+def test_rejects_unsupported_field():
+    text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+    with pytest.raises(MatrixMarketError, match="field"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_rejects_dense_layout():
+    text = "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+    with pytest.raises(MatrixMarketError, match="coordinate"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_rejects_count_mismatch():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+    with pytest.raises(MatrixMarketError, match="entries"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_rejects_bad_size_line():
+    text = "%%MatrixMarket matrix coordinate real general\nnot a size\n"
+    with pytest.raises(MatrixMarketError, match="size line"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_comment_written_with_percent_prefix(small_coo):
+    buf = io.StringIO()
+    write_matrix_market(small_coo, buf, comment="line one\nline two")
+    lines = buf.getvalue().splitlines()
+    assert lines[1] == "% line one"
+    assert lines[2] == "% line two"

@@ -1,0 +1,133 @@
+"""Tests for matrix reordering transforms (permute, sort, RCM)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    bandwidth,
+    banded,
+    permute,
+    power_law,
+    random_uniform,
+    reverse_cuthill_mckee,
+    sort_rows_by_length,
+)
+
+
+class TestPermute:
+    def test_row_permutation_moves_entries(self, small_coo):
+        n = small_coo.n_rows
+        perm = np.roll(np.arange(n), 1)
+        moved = permute(small_coo, row_perm=perm)
+        dense = small_coo.to_dense()
+        np.testing.assert_allclose(moved.to_dense()[perm, :], dense)
+
+    def test_identity_permutation_is_noop(self, small_coo):
+        same = permute(
+            small_coo,
+            row_perm=np.arange(small_coo.n_rows),
+            col_perm=np.arange(small_coo.n_cols),
+        )
+        np.testing.assert_allclose(same.to_dense(), small_coo.to_dense())
+
+    def test_permutation_preserves_spmv_up_to_reordering(self, rng, small_coo):
+        n, m = small_coo.shape
+        rp = rng.permutation(n)
+        cp = rng.permutation(m)
+        B = permute(small_coo, row_perm=rp, col_perm=cp)
+        x = rng.standard_normal(m)
+        # B[rp[i], cp[j]] = A[i, j]  =>  (B @ x_permuted)[rp] = A @ x
+        x_perm = np.empty_like(x)
+        x_perm[cp] = x
+        from repro.formats import CSRMatrix
+
+        yB = CSRMatrix.from_coo(B).spmv(x_perm)
+        yA = CSRMatrix.from_coo(small_coo).spmv(x)
+        np.testing.assert_allclose(yB[rp], yA, atol=1e-12)
+
+    def test_rejects_non_permutation(self, small_coo):
+        bad = np.zeros(small_coo.n_rows, dtype=int)
+        with pytest.raises(ValueError, match="permutation"):
+            permute(small_coo, row_perm=bad)
+
+
+class TestSortRows:
+    def test_descending_lengths(self, skewed_coo):
+        sorted_m, perm = sort_rows_by_length(skewed_coo)
+        lengths = sorted_m.row_lengths()
+        assert np.all(np.diff(lengths) <= 0)
+
+    def test_perm_maps_back(self, skewed_coo):
+        sorted_m, perm = sort_rows_by_length(skewed_coo)
+        np.testing.assert_allclose(
+            sorted_m.to_dense()[perm, :], skewed_coo.to_dense()
+        )
+
+    def test_ascending(self, skewed_coo):
+        sorted_m, _ = sort_rows_by_length(skewed_coo, descending=False)
+        assert np.all(np.diff(sorted_m.row_lengths()) >= 0)
+
+
+class TestBandwidth:
+    def test_band_matrix(self):
+        A = banded(100, 100, bandwidth=7, fill=1.0, seed=0)
+        assert bandwidth(A) <= 7
+
+    def test_empty(self):
+        from repro.formats import COOMatrix
+
+        assert bandwidth(COOMatrix.empty((5, 5))) == 0
+
+
+class TestRCM:
+    def test_returns_permutation(self, rng):
+        A = random_uniform(60, 60, nnz=300, seed=0)
+        perm = reverse_cuthill_mckee(A)
+        assert sorted(perm.tolist()) == list(range(60))
+
+    def test_recovers_shuffled_band(self, rng):
+        A = banded(300, 300, bandwidth=5, fill=1.0, seed=0)
+        p = rng.permutation(300)
+        shuffled = permute(A, row_perm=p, col_perm=p)
+        assert bandwidth(shuffled) > 50
+        perm = reverse_cuthill_mckee(shuffled)
+        restored = permute(shuffled, row_perm=perm, col_perm=perm)
+        assert bandwidth(restored) < 0.1 * bandwidth(shuffled)
+
+    def test_reduces_bandwidth_on_random_sparse(self):
+        A = random_uniform(300, 300, nnz=900, seed=3)
+        perm = reverse_cuthill_mckee(A)
+        reordered = permute(A, row_perm=perm, col_perm=perm)
+        # RCM never guarantees optimality, but it shouldn't blow up.
+        assert bandwidth(reordered) <= bandwidth(A) * 1.05
+
+    def test_disconnected_components(self):
+        from repro.formats import COOMatrix
+
+        # Two separate 2-cliques and an isolated vertex.
+        A = COOMatrix((5, 5), [0, 1, 3, 4], [1, 0, 4, 3], np.ones(4))
+        perm = reverse_cuthill_mckee(A)
+        assert sorted(perm.tolist()) == list(range(5))
+
+    def test_rejects_rectangular(self, rng):
+        A = random_uniform(10, 20, nnz=30, seed=0)
+        with pytest.raises(ValueError, match="square"):
+            reverse_cuthill_mckee(A)
+
+    def test_improves_gather_locality(self):
+        """RCM measurably cuts the simulated gather traffic."""
+        from repro.gpu import KEPLER_K40C, gather_traffic_bytes, profile_matrix
+
+        A = banded(3000, 3000, bandwidth=9, fill=1.0, seed=0)
+        rng = np.random.default_rng(5)
+        p = rng.permutation(3000)
+        shuffled = permute(A, row_perm=p, col_perm=p)
+        perm = reverse_cuthill_mckee(shuffled)
+        restored = permute(shuffled, row_perm=perm, col_perm=perm)
+        t_shuffled = gather_traffic_bytes(
+            profile_matrix(shuffled), KEPLER_K40C, "single"
+        )
+        t_restored = gather_traffic_bytes(
+            profile_matrix(restored), KEPLER_K40C, "single"
+        )
+        assert t_restored < t_shuffled

@@ -1,0 +1,68 @@
+"""Tests for the estimator protocol (get/set params, clone, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaseEstimator,
+    DecisionTreeClassifier,
+    NotFittedError,
+    check_X,
+    check_X_y,
+    clone,
+)
+
+
+class TestParamProtocol:
+    def test_get_params_reflects_constructor(self):
+        tree = DecisionTreeClassifier(max_depth=7, min_samples_leaf=3)
+        p = tree.get_params()
+        assert p["max_depth"] == 7
+        assert p["min_samples_leaf"] == 3
+
+    def test_set_params_roundtrip(self):
+        tree = DecisionTreeClassifier()
+        tree.set_params(max_depth=3)
+        assert tree.max_depth == 3
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            DecisionTreeClassifier().set_params(bogus=1)
+
+    def test_clone_is_unfitted_copy(self, rng):
+        X = rng.standard_normal((30, 3))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        fresh = clone(tree)
+        assert fresh.max_depth == 4
+        assert not hasattr(fresh, "root_")
+        with pytest.raises(NotFittedError):
+            fresh.predict(X)
+
+
+class TestValidation:
+    def test_check_X_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_X(np.zeros(5))
+
+    def test_check_X_rejects_nan(self):
+        X = np.zeros((3, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_X(X)
+
+    def test_check_X_y_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="sample count"):
+            check_X_y(np.zeros((3, 2)), np.zeros(4))
+
+    def test_check_X_y_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_X_y(np.zeros((0, 2)), np.zeros(0))
+
+    def test_check_X_y_rejects_2d_targets(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_X_y(np.zeros((3, 2)), np.zeros((3, 1)))
+
+    def test_check_X_casts_to_float64(self):
+        X = check_X(np.ones((2, 2), dtype=np.int32))
+        assert X.dtype == np.float64

@@ -1,0 +1,126 @@
+"""Tests for the XGBoost-style gradient booster."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    accuracy_score,
+)
+
+
+@pytest.fixture
+def xor(rng):
+    X = rng.standard_normal((400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestClassifier:
+    def test_learns_xor(self, xor):
+        X, y = xor
+        clf = GradientBoostingClassifier(n_estimators=40, max_depth=3).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.95
+
+    def test_multiclass(self, rng):
+        centers = rng.standard_normal((5, 3)) * 6
+        y = rng.integers(0, 5, 300)
+        X = centers[y] + rng.standard_normal((300, 3))
+        clf = GradientBoostingClassifier(n_estimators=25, max_depth=3).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.9
+        assert clf.n_classes_ == 5
+
+    def test_predict_proba_valid(self, xor):
+        X, y = xor
+        clf = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        p = clf.predict_proba(X)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(p >= 0)
+
+    def test_more_rounds_monotone_train_fit(self, xor):
+        X, y = xor
+        accs = []
+        for n in (2, 10, 40):
+            clf = GradientBoostingClassifier(n_estimators=n, max_depth=3, seed=0)
+            accs.append(accuracy_score(y, clf.fit(X, y).predict(X)))
+        assert accs[0] <= accs[1] <= accs[2] + 1e-9
+
+    def test_f_scores_and_gain_importance(self, rng):
+        X = rng.standard_normal((300, 5))
+        y = (X[:, 4] > 0).astype(int)
+        clf = GradientBoostingClassifier(n_estimators=20, max_depth=2).fit(X, y)
+        assert np.argmax(clf.f_scores_) == 4
+        assert np.argmax(clf.feature_importances_) == 4
+        assert clf.feature_importances_.sum() == pytest.approx(1.0)
+        assert clf.f_scores_.dtype.kind == "i"
+
+    def test_subsample(self, xor):
+        X, y = xor
+        clf = GradientBoostingClassifier(
+            n_estimators=30, max_depth=3, subsample=0.5, seed=1
+        ).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.85
+
+    def test_gamma_prunes_splits(self, xor):
+        X, y = xor
+        loose = GradientBoostingClassifier(n_estimators=5, max_depth=4, gamma=0.0, seed=0)
+        tight = GradientBoostingClassifier(n_estimators=5, max_depth=4, gamma=1e9, seed=0)
+        loose.fit(X, y)
+        tight.fit(X, y)
+        assert tight.f_scores_.sum() < loose.f_scores_.sum()
+
+    def test_hyperparameter_validation(self, xor):
+        X, y = xor
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0).fit(X, y)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0).fit(X, y)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=1.5).fit(X, y)
+
+    def test_deterministic(self, xor):
+        X, y = xor
+        a = GradientBoostingClassifier(n_estimators=8, seed=3).fit(X, y).predict(X)
+        b = GradientBoostingClassifier(n_estimators=8, seed=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRegressor:
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.random((400, 2)) * 4
+        y = np.sin(X[:, 0]) * X[:, 1]
+        reg = GradientBoostingRegressor(n_estimators=80, max_depth=3).fit(X, y)
+        mse = np.mean((reg.predict(X) - y) ** 2)
+        assert mse < 0.05 * y.var()
+
+    def test_base_score_is_mean(self, rng):
+        y = rng.standard_normal(50) + 7
+        reg = GradientBoostingRegressor(n_estimators=1).fit(
+            rng.standard_normal((50, 2)), y
+        )
+        assert reg.base_score_ == pytest.approx(y.mean())
+
+    def test_shrinkage_slows_fitting(self, rng):
+        X = rng.standard_normal((200, 2))
+        y = X[:, 0] ** 2
+        fast = GradientBoostingRegressor(n_estimators=5, learning_rate=0.5, seed=0)
+        slow = GradientBoostingRegressor(n_estimators=5, learning_rate=0.01, seed=0)
+        mse_fast = np.mean((fast.fit(X, y).predict(X) - y) ** 2)
+        mse_slow = np.mean((slow.fit(X, y).predict(X) - y) ** 2)
+        assert mse_fast < mse_slow
+
+    def test_reg_lambda_shrinks_leaves(self, rng):
+        X = rng.standard_normal((100, 1))
+        y = 10.0 * X[:, 0]
+        small = GradientBoostingRegressor(n_estimators=1, reg_lambda=0.0, learning_rate=1.0)
+        large = GradientBoostingRegressor(n_estimators=1, reg_lambda=1e6, learning_rate=1.0)
+        spread_small = np.ptp(small.fit(X, y).predict(X))
+        spread_large = np.ptp(large.fit(X, y).predict(X))
+        assert spread_large < 0.01 * spread_small
+
+    def test_not_fitted(self, rng):
+        from repro.ml import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(rng.standard_normal((2, 2)))

@@ -1,0 +1,134 @@
+"""Tests for the density-image representation and the CNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.features import density_image, image_dataset
+from repro.formats import COOMatrix
+from repro.matrices import banded, power_law
+from repro.ml import SimpleCNNClassifier
+
+
+class TestDensityImage:
+    def test_shape_and_range(self, small_coo):
+        img = density_image(small_coo, size=16)
+        assert img.shape == (16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_peak_normalised(self, small_coo):
+        img = density_image(small_coo, size=8)
+        assert img.max() == pytest.approx(1.0)
+
+    def test_empty_matrix_all_zero(self):
+        img = density_image(COOMatrix.empty((10, 10)), size=8)
+        np.testing.assert_array_equal(img, 0.0)
+
+    def test_band_structure_visible(self):
+        A = banded(400, 400, bandwidth=5, fill=1.0, seed=0)
+        img = density_image(A, size=16)
+        # Diagonal pixels bright, far-off-diagonal pixels dark.
+        diag = np.diag(img)
+        off = img[0, -1] + img[-1, 0]
+        assert diag.min() > 0.5
+        assert off == 0.0
+
+    def test_dense_row_visible(self):
+        row = np.zeros(500, dtype=np.int64)
+        col = np.arange(500, dtype=np.int64)
+        A = COOMatrix((500, 500), row, col, np.ones(500))
+        img = density_image(A, size=10)
+        assert img[0].min() > 0  # the top band is lit across all columns
+        assert img[5].max() == 0.0
+
+    def test_size_one(self, small_coo):
+        img = density_image(small_coo, size=1)
+        assert img.shape == (1, 1)
+        assert img[0, 0] == 1.0
+
+    def test_invalid_size(self, small_coo):
+        with pytest.raises(ValueError, match="size"):
+            density_image(small_coo, size=0)
+
+    def test_rectangular_matrix_maps_to_square(self, rng):
+        dense = (rng.random((20, 300)) < 0.1) * 1.0
+        img = density_image(COOMatrix.from_dense(dense), size=12)
+        assert img.shape == (12, 12)
+
+    def test_image_dataset_stacks(self, small_coo, skewed_coo):
+        X = image_dataset([small_coo, skewed_coo], size=8)
+        assert X.shape == (2, 8, 8)
+        assert image_dataset([], size=8).shape == (0, 8, 8)
+
+
+class TestSimpleCNN:
+    @pytest.fixture
+    def quadrant_task(self, rng):
+        n, size = 200, 16
+        y = rng.integers(0, 4, n)
+        X = rng.random((n, size, size)) * 0.1
+        for i, c in enumerate(y):
+            r0, c0 = (c // 2) * 8, (c % 2) * 8
+            X[i, r0 : r0 + 8, c0 : c0 + 8] += 0.9
+        return X, y
+
+    def test_learns_quadrants(self, quadrant_task):
+        X, y = quadrant_task
+        cnn = SimpleCNNClassifier(filters=(4, 8), hidden=32, n_epochs=8, seed=0)
+        cnn.fit(X[:160], y[:160])
+        acc = (cnn.predict(X[160:]) == y[160:]).mean()
+        assert acc > 0.85
+
+    def test_distinguishes_matrix_structures(self, rng):
+        """Banded vs power-law images are separable by the CNN."""
+        from repro.features import density_image
+
+        mats = []
+        labels = []
+        for s in range(40):
+            mats.append(density_image(banded(300, 300, bandwidth=7, seed=s), 16))
+            labels.append(0)
+            mats.append(
+                density_image(power_law(300, 300, nnz=3000, alpha=2.0, seed=s), 16)
+            )
+            labels.append(1)
+        X = np.stack(mats)
+        y = np.array(labels)
+        cnn = SimpleCNNClassifier(filters=(4, 8), hidden=16, n_epochs=10, seed=1)
+        cnn.fit(X[:60], y[:60])
+        assert (cnn.predict(X[60:]) == y[60:]).mean() > 0.9
+
+    def test_predict_proba_valid(self, quadrant_task):
+        X, y = quadrant_task
+        cnn = SimpleCNNClassifier(filters=(2, 4), hidden=8, n_epochs=2, seed=0)
+        cnn.fit(X[:50], y[:50])
+        p = cnn.predict_proba(X[:10])
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+        assert p.shape == (10, 4)
+
+    def test_deterministic(self, quadrant_task):
+        X, y = quadrant_task
+        a = SimpleCNNClassifier(filters=(2, 4), hidden=8, n_epochs=2, seed=5)
+        b = SimpleCNNClassifier(filters=(2, 4), hidden=8, n_epochs=2, seed=5)
+        np.testing.assert_allclose(
+            a.fit(X[:50], y[:50]).predict_proba(X[:5]),
+            b.fit(X[:50], y[:50]).predict_proba(X[:5]),
+        )
+
+    def test_rejects_bad_shapes(self, rng):
+        cnn = SimpleCNNClassifier()
+        with pytest.raises(ValueError, match="images"):
+            cnn.fit(rng.random((10, 8, 9)), np.zeros(10, dtype=int))
+        with pytest.raises(ValueError, match="sample count"):
+            cnn.fit(rng.random((10, 8, 8)), np.zeros(9, dtype=int))
+
+    def test_rejects_too_small_images(self, rng):
+        cnn = SimpleCNNClassifier()
+        with pytest.raises(ValueError, match="too small"):
+            cnn.fit(rng.random((4, 4, 4)), np.array([0, 1, 0, 1]))
+
+    def test_wrong_size_at_predict(self, quadrant_task, rng):
+        X, y = quadrant_task
+        cnn = SimpleCNNClassifier(filters=(2, 4), hidden=8, n_epochs=1, seed=0)
+        cnn.fit(X[:30], y[:30])
+        with pytest.raises(ValueError, match="images must be"):
+            cnn.predict(rng.random((2, 20, 20)))

@@ -1,0 +1,101 @@
+"""Tests for the random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    RandomForestClassifier,
+    RandomForestRegressor,
+    accuracy_score,
+    r2_score,
+)
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = rng.standard_normal((3, 5)) * 6
+    y = rng.integers(0, 3, 240)
+    X = centers[y] + rng.standard_normal((240, 5))
+    return X, y
+
+
+class TestClassifier:
+    def test_learns_blobs(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=25, max_depth=8, seed=0).fit(
+            X[:180], y[:180]
+        )
+        assert accuracy_score(y[180:], rf.predict(X[180:])) > 0.9
+
+    def test_beats_single_shallow_tree_on_xor(self, rng):
+        from repro.ml import DecisionTreeClassifier
+
+        X = rng.standard_normal((500, 6))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tr, te = slice(0, 350), slice(350, None)
+        stump = DecisionTreeClassifier(max_depth=2).fit(X[tr], y[tr])
+        rf = RandomForestClassifier(n_estimators=40, max_depth=8, seed=1).fit(X[tr], y[tr])
+        assert accuracy_score(y[te], rf.predict(X[te])) > accuracy_score(
+            y[te], stump.predict(X[te])
+        )
+
+    def test_predict_proba_valid(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=10, max_depth=4, seed=0).fit(X, y)
+        p = rf.predict_proba(X)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+        assert p.shape == (240, 3)
+
+    def test_feature_importance_normalised(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=10, max_depth=4, seed=0).fit(X, y)
+        assert rf.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        a = RandomForestClassifier(n_estimators=8, seed=3).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=8, seed=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_max_features_options(self, blobs):
+        X, y = blobs
+        for mf in ("sqrt", "log2", 3, None):
+            rf = RandomForestClassifier(n_estimators=5, max_features=mf, seed=0)
+            rf.fit(X, y)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestClassifier(max_features="cube").fit(X, y)
+
+    def test_no_bootstrap(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=5, bootstrap=False, seed=0).fit(X, y)
+        assert accuracy_score(y, rf.predict(X)) > 0.8
+
+    def test_n_estimators_validated(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestClassifier(n_estimators=0).fit(X, y)
+
+
+class TestRegressor:
+    def test_fits_smooth_function(self, rng):
+        X = rng.random((400, 2)) * 4
+        y = np.sin(X[:, 0]) + 0.3 * X[:, 1]
+        rf = RandomForestRegressor(n_estimators=30, max_depth=10, seed=0).fit(
+            X[:300], y[:300]
+        )
+        assert r2_score(y[300:], rf.predict(X[300:])) > 0.85
+
+    def test_averaging_smooths(self, rng):
+        X = rng.standard_normal((200, 1))
+        y = X[:, 0] + 0.5 * rng.standard_normal(200)
+        rf = RandomForestRegressor(n_estimators=40, max_depth=12, seed=0).fit(X, y)
+        # Ensemble prediction is smoother than a fully grown single tree
+        # (which memorises the noise): compare on fresh points.
+        from repro.ml import DecisionTreeRegressor
+
+        Xf = rng.standard_normal((200, 1))
+        yf = Xf[:, 0]
+        tree = DecisionTreeRegressor(max_depth=30).fit(X, y)
+        mse_rf = np.mean((rf.predict(Xf) - yf) ** 2)
+        mse_tree = np.mean((tree.predict(Xf) - yf) ** 2)
+        assert mse_rf < mse_tree

@@ -1,0 +1,142 @@
+"""Tests for the evaluation metrics, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    relative_mean_error,
+    slowdown_factors,
+    slowdown_histogram,
+)
+
+
+class TestAccuracy:
+    def test_known_values(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 4]) == 0.75
+
+    def test_perfect_and_zero(self):
+        assert accuracy_score([1, 1], [1, 1]) == 1.0
+        assert accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+
+class TestConfusion:
+    def test_known_matrix(self):
+        c = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 0], n_classes=3)
+        assert c[0, 0] == 1 and c[0, 1] == 1
+        assert c[1, 1] == 1
+        assert c[2, 0] == 1
+        assert c.sum() == 4
+
+    def test_diagonal_matches_accuracy(self, rng):
+        y = rng.integers(0, 4, 50)
+        p = rng.integers(0, 4, 50)
+        c = confusion_matrix(y, p, 4)
+        assert np.trace(c) / 50 == pytest.approx(accuracy_score(y, p))
+
+
+class TestRME:
+    def test_paper_definition(self):
+        measured = np.array([1.0, 2.0])
+        predicted = np.array([1.1, 1.8])
+        expected = 0.5 * (0.1 / 1.0 + 0.2 / 2.0)
+        assert relative_mean_error(measured, predicted) == pytest.approx(expected)
+
+    def test_zero_for_perfect(self):
+        m = np.array([0.5, 3.0])
+        assert relative_mean_error(m, m) == 0.0
+
+    def test_rejects_nonpositive_measured(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            relative_mean_error([0.0, 1.0], [1.0, 1.0])
+
+
+class TestRegressionMetrics:
+    def test_mse_mae(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == 5.0
+        assert mean_absolute_error([0.0, 0.0], [1.0, 3.0]) == 2.0
+
+    def test_r2_perfect_is_one(self, rng):
+        y = rng.standard_normal(20)
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self, rng):
+        y = rng.standard_normal(100)
+        assert r2_score(y, np.full(100, y.mean())) == pytest.approx(0.0, abs=1e-12)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestSlowdown:
+    def test_factors(self):
+        times = np.array([[1.0, 2.0, 4.0], [3.0, 1.5, 6.0]])
+        best = np.array([0, 1])
+        pred = np.array([2, 0])
+        np.testing.assert_allclose(slowdown_factors(times, best, pred), [4.0, 2.0])
+
+    def test_correct_prediction_is_one(self):
+        times = np.array([[1.0, 2.0]])
+        assert slowdown_factors(times, [0], [0])[0] == 1.0
+
+    def test_histogram_buckets(self):
+        s = np.array([1.0, 1.0, 1.1, 1.3, 1.7, 2.5])
+        h = slowdown_histogram(s)
+        assert h["no_slowdown"] == 2
+        assert h["gt_1x"] == 4
+        assert h["ge_1.2x"] == 3
+        assert h["ge_1.5x"] == 2
+        assert h["ge_2.0x"] == 1
+
+    def test_histogram_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            slowdown_histogram(np.array([0.5]))
+
+    def test_factors_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            slowdown_factors(np.zeros((2, 3)), [0], [0, 1])
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=40),
+        st.integers(0, 10_000),
+    )
+    def test_accuracy_bounds(self, y, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.integers(0, 6, len(y))
+        a = accuracy_score(y, p)
+        assert 0.0 <= a <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 1e6), min_size=1, max_size=30),
+        st.lists(st.floats(-1e6, 1e6), min_size=30, max_size=30),
+    )
+    def test_rme_nonnegative(self, measured, predicted):
+        m = np.array(measured)
+        p = np.array(predicted[: len(measured)])
+        assert relative_mean_error(m, p) >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=30))
+    def test_histogram_counts_consistent(self, slowdowns):
+        h = slowdown_histogram(np.array(slowdowns))
+        assert h["no_slowdown"] + h["gt_1x"] == len(slowdowns)
+        assert h["gt_1x"] >= h["ge_1.2x"] >= h["ge_1.5x"] >= h["ge_2.0x"]

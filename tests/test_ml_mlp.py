@@ -1,0 +1,142 @@
+"""Tests for the MLPs and MLP ensembles (incl. gradient check)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    MLPClassifier,
+    MLPEnsembleClassifier,
+    MLPEnsembleRegressor,
+    MLPRegressor,
+    accuracy_score,
+    r2_score,
+)
+
+
+class TestClassifier:
+    def test_learns_blobs(self, rng):
+        centers = rng.standard_normal((3, 4)) * 5
+        y = rng.integers(0, 3, 300)
+        X = centers[y] + rng.standard_normal((300, 4))
+        clf = MLPClassifier(hidden_layer_sizes=(32, 16), n_epochs=60, seed=0).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.95
+
+    def test_learns_xor(self, rng):
+        X = rng.standard_normal((400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(hidden_layer_sizes=(32,), n_epochs=150, seed=1).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.9
+
+    def test_paper_topology_default(self):
+        clf = MLPClassifier()
+        assert clf.hidden_layer_sizes == (96, 48, 16)
+        assert clf.batch_size == 16
+
+    def test_predict_proba_valid(self, rng):
+        X = rng.standard_normal((50, 3))
+        y = rng.integers(0, 2, 50)
+        clf = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=5).fit(X, y)
+        p = clf.predict_proba(X)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(p >= 0)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.standard_normal((60, 3))
+        y = rng.integers(0, 2, 60)
+        a = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=10, seed=4).fit(X, y)
+        b = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=10, seed=4).fit(X, y)
+        np.testing.assert_allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_feature_count_checked(self, rng):
+        X = rng.standard_normal((30, 3))
+        y = rng.integers(0, 2, 30)
+        clf = MLPClassifier(hidden_layer_sizes=(4,), n_epochs=2).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            clf.predict(rng.standard_normal((5, 2)))
+
+    def test_gradient_check(self, rng):
+        """Backprop gradients match finite differences."""
+        clf = MLPClassifier(hidden_layer_sizes=(5,), n_epochs=1, seed=0)
+        X = rng.standard_normal((8, 3))
+        y = rng.integers(0, 2, 8)
+        clf.n_classes_ = 2
+        target = clf._prepare_targets(y)
+        clf._init_weights(3, 2, np.random.default_rng(0))
+
+        def loss():
+            out = clf._forward(X)[-1]
+            z = out - out.max(axis=1, keepdims=True)
+            logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+            return -(target * logp).sum() / 8
+
+        # Analytic gradient of W0[0, 0].
+        acts = clf._forward(X)
+        delta = clf._output_grad(acts[-1], target) / 8
+        for layer in range(len(clf.weights_) - 1, 0, -1):
+            delta = (delta @ clf.weights_[layer].T) * (acts[layer] > 0)
+        analytic = (acts[0].T @ delta)[0, 0]
+
+        eps = 1e-6
+        clf.weights_[0][0, 0] += eps
+        up = loss()
+        clf.weights_[0][0, 0] -= 2 * eps
+        down = loss()
+        clf.weights_[0][0, 0] += eps
+        numeric = (up - down) / (2 * eps)
+        assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+
+class TestRegressor:
+    def test_fits_linear_map(self, rng):
+        X = rng.standard_normal((300, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 3.0
+        reg = MLPRegressor(hidden_layer_sizes=(16,), n_epochs=100, seed=0).fit(X, y)
+        assert r2_score(y, reg.predict(X)) > 0.98
+
+    def test_target_standardisation_helps_large_scales(self, rng):
+        X = rng.standard_normal((200, 2))
+        y = 1e6 * X[:, 0]  # would explode without target scaling
+        reg = MLPRegressor(hidden_layer_sizes=(16,), n_epochs=60, seed=0).fit(X, y)
+        assert r2_score(y, reg.predict(X)) > 0.9
+
+    def test_bad_epochs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MLPRegressor(n_epochs=0).fit(rng.standard_normal((5, 1)), np.zeros(5))
+
+
+class TestEnsembles:
+    def test_regressor_ensemble_at_least_as_good(self, rng):
+        X = rng.standard_normal((300, 3))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        Xte = rng.standard_normal((100, 3))
+        yte = np.sin(Xte[:, 0]) + 0.5 * Xte[:, 1]
+        single = MLPRegressor(hidden_layer_sizes=(16,), n_epochs=40, seed=0).fit(X, y)
+        ens = MLPEnsembleRegressor(
+            n_members=5, hidden_layer_sizes=(16,), n_epochs=40, seed=0
+        ).fit(X, y)
+        assert r2_score(yte, ens.predict(Xte)) > r2_score(yte, single.predict(Xte)) - 0.05
+
+    def test_members_differ(self, rng):
+        X = rng.standard_normal((80, 2))
+        y = rng.integers(0, 2, 80)
+        ens = MLPEnsembleClassifier(
+            n_members=3, hidden_layer_sizes=(8,), n_epochs=5, seed=0
+        ).fit(X, y)
+        p0 = ens.members_[0].predict_proba(X)
+        p1 = ens.members_[1].predict_proba(X)
+        assert not np.allclose(p0, p1)
+
+    def test_classifier_ensemble_predicts(self, rng):
+        X = rng.standard_normal((100, 2)) + np.array([[3, 3]])
+        X[:50] -= 6
+        y = np.array([0] * 50 + [1] * 50)
+        ens = MLPEnsembleClassifier(
+            n_members=3, hidden_layer_sizes=(8,), n_epochs=30, seed=0
+        ).fit(X, y)
+        assert accuracy_score(y, ens.predict(X)) > 0.9
+
+    def test_invalid_members(self, rng):
+        with pytest.raises(ValueError, match="n_members"):
+            MLPEnsembleRegressor(n_members=0).fit(
+                rng.standard_normal((5, 1)), np.zeros(5)
+            )

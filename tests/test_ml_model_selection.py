@@ -1,0 +1,145 @@
+"""Tests for splits, k-fold CV and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GridSearchCV,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = rng.standard_normal((3, 4)) * 6
+    y = rng.integers(0, 3, 150)
+    X = centers[y] + rng.standard_normal((150, 4))
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blobs):
+        X, y = blobs
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.2, seed=0)
+        assert Xte.shape[0] == 30
+        assert Xtr.shape[0] == 120
+        assert ytr.shape[0] == 120
+
+    def test_disjoint_and_exhaustive(self, blobs):
+        X, y = blobs
+        X = X + np.arange(150)[:, None] * 1e-9  # make rows unique
+        Xtr, Xte, _, _ = train_test_split(X, y, seed=1)
+        rows = {tuple(r) for r in np.vstack([Xtr, Xte])}
+        assert len(rows) == 150
+
+    def test_seed_reproducible(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, seed=3)
+        b = train_test_split(X, y, seed=3)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_stratified_preserves_proportions(self, rng):
+        y = np.array([0] * 80 + [1] * 20)
+        X = rng.standard_normal((100, 2))
+        _, _, _, yte = train_test_split(X, y, test_size=0.25, seed=0, stratify=True)
+        assert 0.1 <= (yte == 1).mean() <= 0.3
+
+    def test_bad_test_size(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestKFold:
+    def test_folds_partition_the_data(self):
+        seen = np.zeros(103, dtype=int)
+        for train, test in KFold(5, seed=0).split(103):
+            assert np.intersect1d(train, test).size == 0
+            assert np.union1d(train, test).size == 103
+            seen[test] += 1
+        assert np.all(seen == 1)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            list(KFold(5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            KFold(1)
+
+    def test_stratified_balances_classes(self):
+        y = np.array([0] * 50 + [1] * 10)
+        for train, test in StratifiedKFold(5, seed=0).split_labels(y):
+            # Every fold holds exactly 2 of the 10 minority samples.
+            assert (y[test] == 1).sum() == 2
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(DecisionTreeClassifier(max_depth=6), X, y, cv=4)
+        assert scores.shape == (4,)
+        assert np.all((scores >= 0) & (scores <= 1))
+        assert scores.mean() > 0.7  # separable blobs
+
+    def test_estimator_not_mutated(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier()
+        cross_val_score(tree, X, y, cv=3)
+        assert not hasattr(tree, "root_")
+
+    def test_custom_scorer(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3),
+            X,
+            y,
+            cv=3,
+            scorer=lambda est, Xt, yt: -1.0,
+        )
+        np.testing.assert_array_equal(scores, -1.0)
+
+
+class TestGridSearch:
+    def test_finds_better_depth(self, rng):
+        # XOR-ish target: depth-1 stumps fail, deeper trees succeed.
+        X = rng.standard_normal((300, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        gs = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [1, 6]}, cv=3
+        )
+        gs.fit(X, y)
+        assert gs.best_params_["max_depth"] == 6
+        assert gs.best_score_ > 0.8
+        assert len(gs.results_) == 2
+
+    def test_best_estimator_refit_on_full_data(self, blobs):
+        X, y = blobs
+        gs = GridSearchCV(DecisionTreeClassifier(), {"max_depth": [4]}, cv=3)
+        gs.fit(X, y)
+        assert hasattr(gs.best_estimator_, "root_")
+        assert gs.predict(X).shape == y.shape
+
+    def test_grid_covers_cartesian_product(self, blobs):
+        X, y = blobs
+        gs = GridSearchCV(
+            DecisionTreeClassifier(),
+            {"max_depth": [2, 4], "min_samples_leaf": [1, 5, 9]},
+            cv=3,
+        )
+        gs.fit(X, y)
+        assert len(gs.results_) == 6
+
+    def test_empty_grid_rejected(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="empty"):
+            GridSearchCV(DecisionTreeClassifier(), {}).fit(X, y)
+
+    def test_predict_before_fit_rejected(self):
+        gs = GridSearchCV(DecisionTreeClassifier(), {"max_depth": [2]})
+        with pytest.raises(RuntimeError, match="not fitted"):
+            gs.predict(np.zeros((1, 2)))

@@ -1,0 +1,123 @@
+"""Tests for scaling, log transform, label encoding, pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LabelEncoder,
+    Log1pTransformer,
+    NotFittedError,
+    Pipeline,
+    StandardScaler,
+    clone,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.standard_normal((200, 4)) * 7 + 3
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-12)
+
+    def test_inverse_transform(self, rng):
+        X = rng.standard_normal((50, 3)) * 2 + 1
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_constant_feature_is_noop(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+        assert np.all(np.isfinite(Z))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_without_mean_or_std(self, rng):
+        X = rng.standard_normal((30, 2)) + 5
+        no_mean = StandardScaler(with_mean=False).fit_transform(X)
+        assert no_mean.mean() > 1  # mean untouched
+        no_std = StandardScaler(with_std=False).fit_transform(X)
+        np.testing.assert_allclose(no_std.mean(axis=0), 0, atol=1e-12)
+
+
+class TestLog1p:
+    def test_applies_log1p(self):
+        X = np.array([[0.0, 10.0], [np.e - 1.0, 0.0]])
+        Z = Log1pTransformer().fit_transform(X)
+        assert Z[1, 0] == pytest.approx(1.0)
+        assert Z[0, 0] == 0.0
+
+    def test_selected_columns_only(self):
+        X = np.array([[np.e - 1.0, np.e - 1.0]])
+        Z = Log1pTransformer(columns=[1]).fit_transform(X)
+        assert Z[0, 0] == pytest.approx(np.e - 1.0)
+        assert Z[0, 1] == pytest.approx(1.0)
+
+    def test_clips_negatives(self):
+        Z = Log1pTransformer().fit_transform(np.array([[-5.0]]))
+        assert Z[0, 0] == 0.0
+
+    def test_does_not_mutate_input(self):
+        X = np.ones((2, 2))
+        Log1pTransformer().fit_transform(X)
+        np.testing.assert_array_equal(X, np.ones((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder().fit(["csr", "ell", "csr", "hyb"])
+        idx = enc.transform(["ell", "csr", "hyb"])
+        assert idx.tolist() == [1, 0, 2]
+        assert enc.inverse_transform(idx).tolist() == ["ell", "csr", "hyb"]
+
+    def test_classes_sorted(self):
+        enc = LabelEncoder().fit(["z", "a", "m"])
+        assert enc.classes_.tolist() == ["a", "m", "z"]
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(["c"])
+
+    def test_out_of_range_index_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="range"):
+            enc.inverse_transform(np.array([5]))
+
+
+class TestPipeline:
+    def test_chains_transformers(self, rng):
+        from repro.ml import DecisionTreeClassifier
+
+        X = np.abs(rng.standard_normal((60, 3))) * 100
+        y = (X[:, 0] > np.median(X[:, 0])).astype(int)
+        pipe = Pipeline(
+            [
+                ("log", Log1pTransformer()),
+                ("scale", StandardScaler()),
+                ("tree", DecisionTreeClassifier(max_depth=3)),
+            ]
+        )
+        pipe.fit(X, y)
+        assert pipe.predict(X).shape == y.shape
+        assert pipe.predict_proba(X).shape == (60, 2)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Pipeline([])
+
+    def test_clone_does_not_share_steps(self, rng):
+        from repro.ml import DecisionTreeClassifier
+
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("tree", DecisionTreeClassifier())]
+        )
+        X = rng.standard_normal((20, 2))
+        y = (X[:, 0] > 0).astype(int)
+        pipe.fit(X, y)
+        twin = clone(pipe)
+        assert twin.steps[0][1] is not pipe.steps[0][1]
+        assert not hasattr(twin.steps[1][1], "root_")

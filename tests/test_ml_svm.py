@@ -1,0 +1,114 @@
+"""Tests for the SMO-based SVC and the Pegasos-style SVR."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, SVR, accuracy_score, linear_kernel, rbf_kernel
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self, rng):
+        A = rng.standard_normal((10, 3))
+        K = rbf_kernel(A, A, gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric_psd_entries(self, rng):
+        A = rng.standard_normal((15, 4))
+        K = rbf_kernel(A, A, gamma=0.2)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+
+    def test_rbf_decays_with_distance(self):
+        a = np.array([[0.0]])
+        assert rbf_kernel(a, np.array([[1.0]]), 1.0) > rbf_kernel(a, np.array([[3.0]]), 1.0)
+
+    def test_linear_kernel(self, rng):
+        A = rng.standard_normal((5, 3))
+        B = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(linear_kernel(A, B), A @ B.T)
+
+
+class TestSVC:
+    def test_binary_separable(self, rng):
+        X = np.vstack([rng.standard_normal((60, 2)) + 4, rng.standard_normal((60, 2)) - 4])
+        y = np.array([0] * 60 + [1] * 60)
+        clf = SVC(C=10.0, gamma=0.5).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) == 1.0
+
+    def test_multiclass_one_vs_one(self, rng):
+        centers = np.array([[6, 0], [-6, 0], [0, 6], [0, -6]], dtype=float)
+        y = rng.integers(0, 4, 200)
+        X = centers[y] + rng.standard_normal((200, 2))
+        clf = SVC(C=10.0, gamma=0.2).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.95
+        # One machine per class pair.
+        assert len(clf._machines) == 6
+
+    def test_nonlinear_boundary_rbf(self, rng):
+        # Concentric rings: linearly inseparable.
+        r = np.concatenate([rng.uniform(0, 1, 100), rng.uniform(2.5, 3.5, 100)])
+        theta = rng.uniform(0, 2 * np.pi, 200)
+        X = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+        y = np.array([0] * 100 + [1] * 100)
+        rbf = SVC(C=10.0, gamma=1.0).fit(X, y)
+        assert accuracy_score(y, rbf.predict(X)) > 0.95
+        lin = SVC(C=10.0, kernel="linear").fit(X, y)
+        assert accuracy_score(y, lin.predict(X)) < 0.8
+
+    def test_gamma_scale(self, rng):
+        X = rng.standard_normal((40, 3)) * 10
+        y = (X[:, 0] > 0).astype(int)
+        clf = SVC(gamma="scale").fit(X, y)
+        assert clf.gamma_ == pytest.approx(1.0 / (3 * X.var()))
+
+    def test_decision_function_shape(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = rng.integers(0, 3, 30)
+        clf = SVC(C=1.0).fit(X, y)
+        assert clf.decision_function(X).shape == (30, 3)  # 3 pairs
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError, match="two classes"):
+            SVC().fit(rng.standard_normal((5, 2)), np.zeros(5, dtype=int))
+
+    def test_invalid_C(self, rng):
+        with pytest.raises(ValueError, match="C"):
+            SVC(C=-1.0).fit(rng.standard_normal((6, 2)), [0, 1] * 3)
+
+    def test_unknown_kernel(self, rng):
+        with pytest.raises(ValueError, match="kernel"):
+            SVC(kernel="poly").fit(rng.standard_normal((6, 2)), [0, 1] * 3)
+
+    def test_deterministic(self, rng):
+        X = rng.standard_normal((60, 2))
+        y = (X.sum(axis=1) > 0).astype(int)
+        a = SVC(C=5.0, gamma=0.3, seed=0).fit(X, y).predict(X)
+        b = SVC(C=5.0, gamma=0.3, seed=0).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_preserved(self, rng):
+        X = rng.standard_normal((40, 2))
+        y = np.where(X[:, 0] > 0, 7, 3)  # non-contiguous labels
+        clf = SVC(C=10.0).fit(X, y)
+        assert set(np.unique(clf.predict(X))) <= {3, 7}
+
+
+class TestSVR:
+    def test_fits_linear_function(self, rng):
+        X = rng.standard_normal((150, 2))
+        y = 2.0 * X[:, 0] - X[:, 1] + 0.5
+        reg = SVR(C=10.0, kernel="linear", epsilon=0.05, n_epochs=100).fit(X, y)
+        resid = np.abs(reg.predict(X) - y)
+        assert np.median(resid) < 0.5
+
+    def test_rbf_fits_smooth_function(self, rng):
+        X = np.sort(rng.uniform(-3, 3, (200, 1)), axis=0)
+        y = np.sin(X[:, 0])
+        reg = SVR(C=50.0, gamma=1.0, epsilon=0.01, n_epochs=150).fit(X, y)
+        from repro.ml import r2_score
+
+        assert r2_score(y, reg.predict(X)) > 0.7
+
+    def test_invalid_epsilon(self, rng):
+        with pytest.raises(ValueError, match="epsilon"):
+            SVR(epsilon=-0.1).fit(rng.standard_normal((5, 1)), np.zeros(5))

@@ -1,0 +1,123 @@
+"""Tests for the CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor, accuracy_score
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = rng.standard_normal((4, 5)) * 8
+    y = rng.integers(0, 4, 200)
+    X = centers[y] + rng.standard_normal((200, 5))
+    return X, y
+
+
+class TestClassifier:
+    def test_fits_training_data_exactly_when_unbounded(self, rng):
+        X = rng.standard_normal((100, 4))
+        y = rng.integers(0, 3, 100)
+        tree = DecisionTreeClassifier(max_depth=64).fit(X, y)
+        # Continuous features make exact memorisation possible.
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+
+    def test_generalises_on_blobs(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=8).fit(X[:150], y[:150])
+        assert accuracy_score(y[150:], tree.predict(X[150:])) > 0.85
+
+    def test_depth_limit_respected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_stump_on_pure_labels(self, rng):
+        X = rng.standard_normal((20, 3))
+        tree = DecisionTreeClassifier().fit(X, np.ones(20, dtype=int))
+        assert tree.depth_ == 0
+        assert np.all(tree.predict(X) == 1)
+
+    def test_min_samples_leaf(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=30, min_samples_leaf=40).fit(X, y)
+
+        def leaves(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaves(node.left) + leaves(node.right)
+
+        assert min(leaves(tree.root_)) >= 40
+
+    def test_predict_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        p = tree.predict_proba(X)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert p.shape == (200, 4)
+
+    def test_feature_importance_finds_signal(self, rng):
+        X = rng.standard_normal((300, 6))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_feature_count_checked_at_predict(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(X[:, :3])
+
+    def test_rejects_negative_labels(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            DecisionTreeClassifier().fit(rng.standard_normal((5, 2)), [-1, 0, 1, 0, 1])
+
+    def test_max_features_subsampling(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=5, max_features=2, seed=1).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.5
+
+    def test_single_sample(self):
+        tree = DecisionTreeClassifier().fit(np.array([[1.0]]), np.array([2]))
+        assert tree.predict(np.array([[5.0]]))[0] == 2
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        a = DecisionTreeClassifier(max_depth=6, seed=0).fit(X, y).predict(X)
+        b = DecisionTreeClassifier(max_depth=6, seed=0).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRegressor:
+    def test_fits_piecewise_constant(self, rng):
+        X = np.sort(rng.random((200, 1)), axis=0)
+        y = np.where(X[:, 0] > 0.5, 3.0, -1.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        pred = tree.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-9)
+
+    def test_approximates_smooth_function(self, rng):
+        X = rng.random((500, 1)) * 6
+        y = np.sin(X[:, 0])
+        tree = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        mse = np.mean((tree.predict(X) - y) ** 2)
+        assert mse < 0.01
+
+    def test_leaf_is_mean(self, rng):
+        X = np.ones((10, 1))  # no split possible
+        y = rng.standard_normal(10)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.predict(X)[0] == pytest.approx(y.mean())
+
+    def test_importance_on_regression_signal(self, rng):
+        X = rng.standard_normal((300, 4))
+        y = 5.0 * X[:, 1] + 0.01 * rng.standard_normal(300)
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 1
+
+    def test_invalid_depth(self, rng):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeRegressor(max_depth=0).fit(
+                rng.standard_normal((5, 2)), rng.standard_normal(5)
+            )

@@ -1,0 +1,82 @@
+"""Public-API contract tests: exports, docstrings, __all__ hygiene."""
+
+import importlib
+import inspect
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.formats",
+    "repro.gpu",
+    "repro.matrices",
+    "repro.features",
+    "repro.ml",
+    "repro.core",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), f"{name} lacks __all__"
+    for symbol in mod.__all__:
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_packages_documented(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 40, f"{name} underdocumented"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_public_classes_and_functions_documented(name):
+    mod = importlib.import_module(name)
+    undocumented = []
+    for symbol in mod.__all__:
+        obj = getattr(mod, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(symbol)
+    assert not undocumented, f"{name}: undocumented public items {undocumented}"
+
+
+def test_root_exposes_quickstart_path():
+    import repro
+
+    assert repro.__version__
+    # The README quickstart names these; keep them stable.
+    for symbol in ("SpMVExecutor", "KEPLER_K40C", "PASCAL_P100", "as_format",
+                   "CSRMatrix", "FORMAT_NAMES"):
+        assert hasattr(repro, symbol)
+
+
+def test_format_classes_share_interface():
+    from repro.formats import FORMATS, SparseFormat
+
+    for name, cls in FORMATS.items():
+        assert issubclass(cls, SparseFormat)
+        assert cls.name == name
+        for method in ("from_coo", "to_coo", "spmv", "memory_bytes"):
+            assert callable(getattr(cls, method)), (name, method)
+
+
+def test_estimators_follow_param_protocol():
+    """Every registry estimator can be constructed, cloned and configured."""
+    from repro.core import MODEL_REGISTRY, REGRESSOR_REGISTRY
+    from repro.ml import clone
+
+    for factory in list(MODEL_REGISTRY.values()) + list(REGRESSOR_REGISTRY.values()):
+        est = factory()
+        twin = clone(est)
+        assert type(twin) is type(est)
+
+
+def test_cli_entry_point_configured():
+    import tomllib
+
+    with open("pyproject.toml", "rb") as fh:
+        meta = tomllib.load(fh)
+    assert meta["project"]["scripts"]["repro-spmv"] == "repro.cli:main"
