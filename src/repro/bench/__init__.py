@@ -2,10 +2,19 @@
 
 ``repro.bench`` is consumed by the pytest files under ``benchmarks/``:
 :mod:`~repro.bench.runner` owns the shared (cached) datasets and scale
-knobs, :mod:`~repro.bench.experiments` implements one function per
-table/figure, and :mod:`~repro.bench.tables` renders results next to
-the paper's reported numbers.
+knobs, :mod:`~repro.bench.campaign` the parallel fault-tolerant
+measurement-campaign engine behind them, :mod:`~repro.bench.experiments`
+implements one function per table/figure, and
+:mod:`~repro.bench.tables` renders results next to the paper's reported
+numbers.
 """
+
+from .campaign import (  # noqa: F401
+    CampaignProgress,
+    CampaignResult,
+    MatrixResult,
+    run_campaign,
+)
 
 from .experiments import (  # noqa: F401
     MODELS,
@@ -23,22 +32,34 @@ from .experiments import (  # noqa: F401
 )
 from .runner import (  # noqa: F401
     CONFIGS,
+    BenchConfig,
+    bench_config,
     bench_corpus,
     bench_dataset,
     bench_max_nnz,
+    bench_reps,
     bench_scale,
     bench_seed,
+    bench_workers,
 )
 from .tables import caption, format_pct, render_series, render_table  # noqa: F401
 
 __all__ = [
     "CONFIGS",
     "MODELS",
+    "BenchConfig",
+    "CampaignProgress",
+    "CampaignResult",
+    "MatrixResult",
+    "run_campaign",
+    "bench_config",
     "bench_corpus",
     "bench_dataset",
     "bench_scale",
     "bench_max_nnz",
     "bench_seed",
+    "bench_reps",
+    "bench_workers",
     "corpus_statistics",
     "twin_matrices",
     "format_gflops_sweep",

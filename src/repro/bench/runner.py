@@ -7,32 +7,47 @@ dataset per (device, precision).  This module owns that lifecycle:
   bench files run in CI minutes or at full paper scale:
 
   - ``REPRO_SCALE``   — corpus fraction of the ~2300-matrix collection
-    (default ``0.05``; the paper is ``1.0``),
+    (default ``0.1``; the paper is ``1.0``),
   - ``REPRO_MAX_NNZ`` — per-matrix nnz cap (default ``2_000_000``),
   - ``REPRO_SEED``    — master seed (default ``0``),
+  - ``REPRO_REPS``    — repetitions per (matrix, format) (default 50,
+    the paper's protocol),
+  - ``REPRO_WORKERS`` — measurement-campaign worker processes
+    (default ``1``; results are bit-identical for any count),
   - ``REPRO_CACHE``   — dataset cache directory (default
-    ``.repro_cache`` under the current directory);
+    ``.repro_cache`` under the current directory; per-matrix resume
+    shards live in a ``shards/`` subdirectory);
 
 * datasets are built once per process and cached both in memory and on
   disk (``.npz``), exactly as the paper reuses one measurement campaign
-  for all its tables.
+  for all its tables.  The in-memory cache is keyed on the *resolved*
+  environment configuration (:func:`bench_config`), so changing
+  ``REPRO_SCALE``/``REPRO_MAX_NNZ``/``REPRO_SEED``/… mid-process
+  transparently builds (or loads) the right dataset instead of serving
+  a stale one.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Tuple
 
 from ..core import SpMVDataset, build_dataset
+from ..core.labeling import DEFAULT_REPS
 from ..gpu import DEVICES, DeviceSpec
 from ..matrices import SyntheticCorpus
 
 __all__ = [
+    "BenchConfig",
+    "bench_config",
     "bench_scale",
     "bench_max_nnz",
     "bench_seed",
+    "bench_reps",
+    "bench_workers",
     "bench_corpus",
     "bench_dataset",
     "CONFIGS",
@@ -47,45 +62,97 @@ CONFIGS: Tuple[Tuple[str, str], ...] = (
 )
 
 
+@dataclass(frozen=True)
+class BenchConfig:
+    """Resolved snapshot of the ``REPRO_*`` environment configuration.
+
+    Hashable, so the process-level corpus/dataset caches can key on it —
+    a mid-process environment change yields a different config and thus
+    a fresh cache entry rather than silently stale data.
+    """
+
+    scale: float
+    max_nnz: int
+    seed: int
+    reps: int
+    workers: int
+    cache_dir: str
+
+
+def bench_config() -> BenchConfig:
+    """Read the ``REPRO_*`` environment into an explicit config object."""
+    return BenchConfig(
+        scale=float(os.environ.get("REPRO_SCALE", "0.1")),
+        max_nnz=int(float(os.environ.get("REPRO_MAX_NNZ", "2000000"))),
+        seed=int(os.environ.get("REPRO_SEED", "0")),
+        reps=int(os.environ.get("REPRO_REPS", str(DEFAULT_REPS))),
+        workers=int(os.environ.get("REPRO_WORKERS", "1")),
+        cache_dir=os.environ.get("REPRO_CACHE", ".repro_cache"),
+    )
+
+
 def bench_scale() -> float:
     """Corpus scale for benches (env ``REPRO_SCALE``, default 0.1)."""
-    return float(os.environ.get("REPRO_SCALE", "0.1"))
+    return bench_config().scale
 
 
 def bench_max_nnz() -> int:
     """Per-matrix nnz cap (env ``REPRO_MAX_NNZ``, default 2e6)."""
-    return int(float(os.environ.get("REPRO_MAX_NNZ", "2000000")))
+    return bench_config().max_nnz
 
 
 def bench_seed() -> int:
     """Master seed (env ``REPRO_SEED``, default 0)."""
-    return int(os.environ.get("REPRO_SEED", "0"))
+    return bench_config().seed
 
 
-def _cache_dir() -> Path:
-    return Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
+def bench_reps() -> int:
+    """Repetitions per (matrix, format) (env ``REPRO_REPS``, default 50)."""
+    return bench_config().reps
+
+
+def bench_workers() -> int:
+    """Campaign worker processes (env ``REPRO_WORKERS``, default 1)."""
+    return bench_config().workers
 
 
 @lru_cache(maxsize=4)
+def _corpus_for(scale: float, seed: int, max_nnz: int) -> SyntheticCorpus:
+    return SyntheticCorpus(scale=scale, seed=seed, max_nnz=max_nnz)
+
+
 def bench_corpus() -> SyntheticCorpus:
     """The benchmark corpus at the configured scale (process-cached)."""
-    return SyntheticCorpus(
-        scale=bench_scale(), seed=bench_seed(), max_nnz=bench_max_nnz()
-    )
+    cfg = bench_config()
+    return _corpus_for(cfg.scale, cfg.seed, cfg.max_nnz)
 
 
 @lru_cache(maxsize=8)
-def bench_dataset(device_key: str = "k40c", precision: str = "single") -> SpMVDataset:
-    """Labeled dataset for one configuration (memory + disk cached)."""
+def _dataset_for(cfg: BenchConfig, device_key: str, precision: str) -> SpMVDataset:
     device: DeviceSpec = DEVICES[device_key]
     tag = (
-        f"{device_key}_{precision}_s{bench_scale():g}_m{bench_max_nnz()}"
-        f"_r{bench_seed()}.npz"
+        f"{device_key}_{precision}_s{cfg.scale:g}_m{cfg.max_nnz}"
+        f"_r{cfg.seed}_n{cfg.reps}.npz"
     )
+    cache_dir = Path(cfg.cache_dir)
     return build_dataset(
-        bench_corpus(),
+        _corpus_for(cfg.scale, cfg.seed, cfg.max_nnz),
         device,
         precision,
-        seed=bench_seed(),
-        cache_path=_cache_dir() / tag,
+        reps=cfg.reps,
+        seed=cfg.seed,
+        cache_path=cache_dir / tag,
+        workers=cfg.workers,
+        shard_dir=cache_dir / "shards",
     )
+
+
+def bench_dataset(device_key: str = "k40c", precision: str = "single") -> SpMVDataset:
+    """Labeled dataset for one configuration (memory + disk cached)."""
+    return _dataset_for(bench_config(), device_key, precision)
+
+
+# The pre-refactor functions were lru_cached directly and the test suite
+# (and downstream users) clear them between scale changes; keep that API.
+bench_corpus.cache_clear = _corpus_for.cache_clear  # type: ignore[attr-defined]
+bench_dataset.cache_clear = _dataset_for.cache_clear  # type: ignore[attr-defined]

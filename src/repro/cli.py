@@ -7,6 +7,9 @@ Subcommands cover the full workflow a downstream user needs:
 * ``features`` — print the paper's 17 features for ``.mtx`` files.
 * ``label``    — run the measurement campaign on a simulated device and
   save an ``SpMVDataset`` (``.npz``).
+* ``campaign`` — the same measurement campaign with the full engine
+  surfaced: parallel workers, per-matrix resume shards, a failure log
+  and live progress output.
 * ``train``    — fit a format selector on a labeled dataset and pickle it.
 * ``predict``  — load a trained selector and pick formats for ``.mtx``
   files.
@@ -54,6 +57,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-nnz", type=int, default=1_000_000)
     p.add_argument("--reps", type=int, default=50)
+    p.add_argument("--workers", type=int, default=None,
+                   help="campaign worker processes (default: REPRO_WORKERS or 1)")
+    p.add_argument("--out", type=Path, required=True, help="output .npz path")
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a parallel, resumable measurement campaign",
+        description="Run the labeling measurement campaign with the full "
+        "engine surfaced: a process pool fans the per-matrix loop out, "
+        "per-matrix result shards make interrupted runs resumable, "
+        "failures are recorded (and logged) instead of aborting, and "
+        "progress (counts, ETA) streams to stdout.",
+    )
+    p.add_argument("--device", default="k40c", choices=("k40c", "k80c", "p100"))
+    p.add_argument("--precision", default="single", choices=("single", "double"))
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-nnz", type=int, default=1_000_000)
+    p.add_argument("--reps", type=int, default=50)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: REPRO_WORKERS or 1)")
+    p.add_argument("--shard-dir", type=Path, default=None,
+                   help="resume-shard directory (default: <out>.shards)")
+    p.add_argument("--no-resume", action="store_true",
+                   help="disable shard caching entirely")
+    p.add_argument("--failures", type=Path, default=None,
+                   help="write a name,reason CSV of dropped matrices")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-matrix labeling timeout in seconds")
+    p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     p.add_argument("--out", type=Path, required=True, help="output .npz path")
 
     p = sub.add_parser("train", help="train a format selector on a dataset")
@@ -126,6 +159,7 @@ def _cmd_label(args) -> int:
         args.precision,
         reps=args.reps,
         seed=args.seed,
+        workers=args.workers,
     )
     args.out.parent.mkdir(parents=True, exist_ok=True)
     ds.save(args.out)
@@ -133,6 +167,65 @@ def _cmd_label(args) -> int:
 
     dist = Counter(ds.label_names.tolist())
     print(f"labeled {len(ds)} matrices on {ds.device} ({ds.precision})")
+    print("best-format distribution: "
+          + ", ".join(f"{k}={v}" for k, v in dist.most_common()))
+    print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from collections import Counter
+
+    from .bench.campaign import run_campaign
+    from .gpu import DEVICES
+    from .matrices import SyntheticCorpus
+
+    corpus = SyntheticCorpus(scale=args.scale, seed=args.seed, max_nnz=args.max_nnz)
+    shard_dir = None
+    if not args.no_resume:
+        shard_dir = args.shard_dir or args.out.with_suffix(args.out.suffix + ".shards")
+
+    def _progress(ev) -> None:
+        if args.quiet:
+            return
+        width = max(1, ev.total // 20)
+        if ev.done % width and ev.done != ev.total:
+            return
+        cached = f" cached={ev.cached}" if ev.cached else ""
+        print(
+            f"[{ev.done}/{ev.total}] ok={ev.ok} failed={ev.failed}{cached} "
+            f"elapsed={ev.elapsed_s:.1f}s eta={ev.eta_s:.1f}s ({ev.name})",
+            flush=True,
+        )
+
+    result = run_campaign(
+        corpus,
+        DEVICES[args.device],
+        args.precision,
+        reps=args.reps,
+        seed=args.seed,
+        workers=args.workers,
+        shard_dir=shard_dir,
+        progress=_progress,
+        timeout_s=args.timeout,
+    )
+    if args.failures is not None:
+        args.failures.parent.mkdir(parents=True, exist_ok=True)
+        result.write_failure_log(args.failures)
+        print(f"failure log: {args.failures} ({len(result.failures)} matrices)")
+    elif result.failures:
+        for name, reason in result.failures.items():
+            print(f"dropped {name}: {reason}")
+    try:
+        ds = result.to_dataset()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    ds.save(args.out)
+    dist = Counter(ds.label_names.tolist())
+    print(f"labeled {len(ds)}/{len(corpus)} matrices on {ds.device} "
+          f"({ds.precision}, reps={ds.reps}, {len(result.failures)} dropped)")
     print("best-format distribution: "
           + ", ".join(f"{k}={v}" for k, v in dist.most_common()))
     print(f"saved {args.out}")
@@ -233,6 +326,7 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "features": _cmd_features,
     "label": _cmd_label,
+    "campaign": _cmd_campaign,
     "train": _cmd_train,
     "predict": _cmd_predict,
     "table": _cmd_table,

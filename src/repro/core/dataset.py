@@ -6,21 +6,26 @@ simulated device/precision and packs the result into an
 evaluation consumes.  Datasets serialise to ``.npz`` so the expensive
 labeling pass can be cached between benchmark tables (all the paper's
 tables reuse one measurement campaign per device/precision).
+
+The measurement loop itself lives in :mod:`repro.bench.campaign`;
+:func:`build_dataset` is a thin wrapper that adds whole-dataset
+``.npz`` caching on top of the engine's parallel, fault-tolerant,
+shard-resumable execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..features import ALL_FEATURES, FEATURE_SETS, extract_features
+from ..features import ALL_FEATURES, FEATURE_SETS
 from ..formats import FORMAT_NAMES
-from ..gpu import DeviceSpec, NoiseModel, SpMVExecutor
+from ..gpu import DeviceSpec, NoiseModel
 from ..matrices import SyntheticCorpus
-from .labeling import DEFAULT_REPS, MatrixLabel, label_matrix
+from .labeling import DEFAULT_REPS
 
 __all__ = ["SpMVDataset", "build_dataset"]
 
@@ -44,6 +49,9 @@ class SpMVDataset:
         Best-format index per matrix (argmin of ``times``).
     device, precision:
         Provenance of the measurements.
+    reps:
+        Repetition count of the measurement campaign (``0`` for legacy
+        datasets saved before the count was recorded).
     """
 
     names: List[str]
@@ -52,6 +60,7 @@ class SpMVDataset:
     formats: Tuple[str, ...]
     device: str
     precision: str
+    reps: int = 0
 
     def __post_init__(self) -> None:
         n = len(self.names)
@@ -103,6 +112,7 @@ class SpMVDataset:
             formats=self.formats,
             device=self.device,
             precision=self.precision,
+            reps=self.reps,
         )
 
     def restrict_formats(self, formats: Sequence[str]) -> "SpMVDataset":
@@ -115,6 +125,7 @@ class SpMVDataset:
             formats=tuple(formats),
             device=self.device,
             precision=self.precision,
+            reps=self.reps,
         )
 
     def drop_coo_best(self) -> "SpMVDataset":
@@ -136,6 +147,7 @@ class SpMVDataset:
             formats=np.array(self.formats),
             device=self.device,
             precision=self.precision,
+            reps=self.reps,
         )
 
     @classmethod
@@ -149,6 +161,7 @@ class SpMVDataset:
                 formats=tuple(str(s) for s in z["formats"]),
                 device=str(z["device"]),
                 precision=str(z["precision"]),
+                reps=int(z["reps"]) if "reps" in z.files else 0,
             )
 
 
@@ -162,54 +175,53 @@ def build_dataset(
     noise: Optional[NoiseModel] = None,
     seed: int = 0,
     cache_path: Optional[Union[str, Path]] = None,
+    workers: Optional[int] = None,
+    shard_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[Callable] = None,
 ) -> SpMVDataset:
     """Label a whole corpus on one simulated device/precision.
 
+    Thin wrapper over the measurement-campaign engine
+    (:func:`repro.bench.campaign.run_campaign`): the per-matrix labeling
+    loop fans out over ``workers`` processes (default: the
+    ``REPRO_WORKERS`` environment variable, falling back to serial),
+    per-matrix failures are recorded and skipped, and ``shard_dir``
+    makes interrupted campaigns resumable.  Results are bit-identical
+    for any worker count (each matrix draws from its own derived seed).
+
     Matrices failing any requested format are dropped (the paper's
-    protocol).  If ``cache_path`` exists it is loaded instead of
-    re-measuring; after a fresh build the dataset is saved there.
+    protocol).  If ``cache_path`` exists *and matches* the requested
+    formats, precision, device and reps, it is loaded instead of
+    re-measuring; on any mismatch — or after a fresh build — the
+    dataset is rebuilt and saved there.  (Datasets saved before the
+    repetition count was recorded report ``reps == 0`` and are accepted
+    for any ``reps``.)
     """
     if cache_path is not None and Path(cache_path).exists():
         ds = SpMVDataset.load(cache_path)
-        if ds.formats == tuple(formats) and ds.precision == precision:
+        if (
+            ds.formats == tuple(formats)
+            and ds.precision == precision
+            and ds.device == device.name
+            and ds.reps in (0, reps)
+        ):
             return ds
 
-    executor = SpMVExecutor(device, precision, noise=noise, seed=seed)
-    names: List[str] = []
-    feats: List[np.ndarray] = []
-    rows: List[np.ndarray] = []
-    for entry in corpus:
-        matrix = entry.build()
-        profile = executor.profile(matrix)
-        features = extract_features(matrix)
-        try:
-            label: MatrixLabel = label_matrix(
-                executor,
-                matrix,
-                name=entry.name,
-                formats=formats,
-                reps=reps,
-                features=features,
-                profile=profile,
-            )
-        except ValueError:
-            continue  # every format failed
-        if not label.complete:
-            continue  # paper: drop matrices failing any format
-        names.append(entry.name)
-        feats.append(np.array([features[f] for f in ALL_FEATURES]))
-        rows.append(np.array([label.times[f] for f in formats]))
+    from ..bench.campaign import run_campaign
 
-    if not names:
-        raise ValueError("no corpus matrix survived labeling")
-    ds = SpMVDataset(
-        names=names,
-        feature_array=np.vstack(feats),
-        times=np.vstack(rows),
-        formats=tuple(formats),
-        device=device.name,
-        precision=precision,
+    result = run_campaign(
+        corpus,
+        device,
+        precision,
+        formats=formats,
+        reps=reps,
+        noise=noise,
+        seed=seed,
+        workers=workers,
+        shard_dir=shard_dir,
+        progress=progress,
     )
+    ds = result.to_dataset()
     if cache_path is not None:
         Path(cache_path).parent.mkdir(parents=True, exist_ok=True)
         ds.save(cache_path)

@@ -59,7 +59,14 @@ class MatrixLabel:
         return not self.failed
 
     def slowdown(self, fmt: str) -> float:
-        """Penalty of choosing ``fmt`` instead of the best format."""
+        """Penalty of choosing ``fmt`` instead of the best format.
+
+        A format that failed to execute is infinitely worse than the
+        best one, so it reports ``float("inf")`` rather than raising.
+        Formats that were never requested still raise ``KeyError``.
+        """
+        if fmt in self.failed:
+            return float("inf")
         return self.times[fmt] / self.times[self.best_format]
 
 

@@ -1,0 +1,196 @@
+"""Tests for the parallel, fault-tolerant measurement-campaign engine."""
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.bench.campaign import (
+    CampaignProgress,
+    derive_matrix_seed,
+    run_campaign,
+    shard_key,
+)
+from repro.core import build_dataset
+from repro.gpu import KEPLER_K40C, PASCAL_P100, NoiseModel
+from repro.matrices import CorpusEntry, SyntheticCorpus
+
+
+@pytest.fixture(scope="module")
+def campaign_corpus():
+    """~14-matrix corpus, small enough to label many times per test run."""
+    return SyntheticCorpus(scale=0.01, seed=5, max_nnz=60_000)
+
+
+def _bad_entry(name="boom"):
+    """An entry whose build() raises (unknown generator kwarg)."""
+    return CorpusEntry(
+        name=name,
+        family="random_uniform",
+        bin_index=0,
+        target_nnz=100,
+        seed=1,
+        params={"m": 10, "n": 10, "nnz": 50, "seed": 1, "bogus": 1},
+    )
+
+
+@dataclass(frozen=True)
+class _KillerEntry(CorpusEntry):
+    """An entry that hard-kills its worker process (simulated segfault)."""
+
+    def build(self):
+        os._exit(13)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bitwise(self, campaign_corpus):
+        serial = run_campaign(campaign_corpus, KEPLER_K40C, "single",
+                              seed=5, workers=1)
+        parallel = run_campaign(campaign_corpus, KEPLER_K40C, "single",
+                                seed=5, workers=4)
+        ds1, ds4 = serial.to_dataset(), parallel.to_dataset()
+        assert ds1.names == ds4.names
+        assert ds1.times.tobytes() == ds4.times.tobytes()
+        assert ds1.feature_array.tobytes() == ds4.feature_array.tobytes()
+
+    def test_build_dataset_workers_equivalent(self, campaign_corpus):
+        a = build_dataset(campaign_corpus, KEPLER_K40C, "single",
+                          seed=5, workers=1)
+        b = build_dataset(campaign_corpus, KEPLER_K40C, "single",
+                          seed=5, workers=4)
+        assert a.times.tobytes() == b.times.tobytes()
+        assert a.reps == b.reps == 50
+
+    def test_per_matrix_seeds_independent_of_companions(self, campaign_corpus):
+        """A matrix's measurement does not depend on which others ran."""
+        entries = list(campaign_corpus)
+        full = run_campaign(entries, KEPLER_K40C, "single", seed=5)
+        alone = run_campaign(entries[:1], KEPLER_K40C, "single", seed=5)
+        assert full.results[0].times == alone.results[0].times
+
+    def test_derive_matrix_seed_stable_and_distinct(self):
+        assert derive_matrix_seed(0, "a") == derive_matrix_seed(0, "a")
+        assert derive_matrix_seed(0, "a") != derive_matrix_seed(0, "b")
+        assert derive_matrix_seed(0, "a") != derive_matrix_seed(1, "a")
+
+
+class TestFaultTolerance:
+    def test_python_failure_recorded_not_fatal(self, campaign_corpus):
+        entries = list(campaign_corpus) + [_bad_entry()]
+        result = run_campaign(entries, KEPLER_K40C, "single", seed=5, workers=2)
+        assert "boom" in result.failures
+        assert "bogus" in result.failures["boom"]
+        ds = result.to_dataset()
+        assert len(ds) == result.n_ok == len(entries) - 1
+
+    def test_worker_hard_crash_recorded_not_fatal(self, campaign_corpus):
+        """A killed worker marks only its matrix failed; the rest survive."""
+        good = list(campaign_corpus)[:6]
+        killer = _KillerEntry(name="killer", family="random_uniform",
+                              bin_index=0, target_nnz=10, seed=0, params={})
+        result = run_campaign(good + [killer], KEPLER_K40C, "single",
+                              seed=5, workers=2)
+        assert "worker crashed" in result.failures["killer"]
+        assert result.n_ok == len(good)
+        # Collateral victims of the pool breakage were retried and match
+        # a crash-free serial campaign bit-for-bit.
+        clean = run_campaign(good, KEPLER_K40C, "single", seed=5, workers=1)
+        assert result.to_dataset().times.tobytes() == \
+            clean.to_dataset().times.tobytes()
+
+    def test_all_failed_raises_documented_error(self):
+        result = run_campaign([_bad_entry()], KEPLER_K40C, "single")
+        with pytest.raises(ValueError, match="no corpus matrix survived"):
+            result.to_dataset()
+
+    def test_failure_log_csv(self, tmp_path, campaign_corpus):
+        entries = list(campaign_corpus)[:2] + [_bad_entry()]
+        result = run_campaign(entries, KEPLER_K40C, "single", seed=5)
+        log = tmp_path / "failures.csv"
+        result.write_failure_log(log)
+        lines = log.read_text().splitlines()
+        assert lines[0] == "name,reason"
+        assert len(lines) == 2 and lines[1].startswith("boom,")
+
+
+class TestResume:
+    def test_second_run_served_from_shards(self, tmp_path, campaign_corpus):
+        sd = tmp_path / "shards"
+        first = run_campaign(campaign_corpus, KEPLER_K40C, "single",
+                             seed=5, workers=2, shard_dir=sd)
+        assert not any(r.cached for r in first.results)
+        second = run_campaign(campaign_corpus, KEPLER_K40C, "single",
+                              seed=5, workers=2, shard_dir=sd)
+        assert all(r.cached for r in second.results)
+        assert first.to_dataset().times.tobytes() == \
+            second.to_dataset().times.tobytes()
+
+    def test_partial_shards_only_measure_missing(self, tmp_path, campaign_corpus):
+        sd = tmp_path / "shards"
+        entries = list(campaign_corpus)
+        run_campaign(entries[:5], KEPLER_K40C, "single", seed=5, shard_dir=sd)
+        resumed = run_campaign(entries, KEPLER_K40C, "single", seed=5,
+                               shard_dir=sd)
+        cached = [r.cached for r in resumed.results]
+        assert sum(cached) == 5
+        full = run_campaign(entries, KEPLER_K40C, "single", seed=5)
+        assert resumed.to_dataset().times.tobytes() == \
+            full.to_dataset().times.tobytes()
+
+    def test_failures_resume_too(self, tmp_path):
+        sd = tmp_path / "shards"
+        run_campaign([_bad_entry()], KEPLER_K40C, "single", shard_dir=sd)
+        again = run_campaign([_bad_entry()], KEPLER_K40C, "single", shard_dir=sd)
+        assert again.results[0].cached and not again.results[0].ok
+
+    def test_corrupt_shard_remeasured(self, tmp_path, campaign_corpus):
+        sd = tmp_path / "shards"
+        run_campaign(list(campaign_corpus)[:1], KEPLER_K40C, "single",
+                     seed=5, shard_dir=sd)
+        (shard,) = sd.glob("*.json")
+        shard.write_text("{not json")
+        again = run_campaign(list(campaign_corpus)[:1], KEPLER_K40C, "single",
+                             seed=5, shard_dir=sd)
+        assert not again.results[0].cached and again.results[0].ok
+        assert json.loads(shard.read_text())["ok"]  # rewritten cleanly
+
+
+class TestShardKey:
+    def test_key_covers_campaign_parameters(self, campaign_corpus):
+        entry = list(campaign_corpus)[0]
+        base = shard_key(entry, KEPLER_K40C, "single", ("csr",), 50, 0,
+                         NoiseModel())
+        assert base == shard_key(entry, KEPLER_K40C, "single", ("csr",), 50, 0,
+                                 NoiseModel())
+        variants = [
+            shard_key(entry, PASCAL_P100, "single", ("csr",), 50, 0, NoiseModel()),
+            shard_key(entry, KEPLER_K40C, "double", ("csr",), 50, 0, NoiseModel()),
+            shard_key(entry, KEPLER_K40C, "single", ("ell",), 50, 0, NoiseModel()),
+            shard_key(entry, KEPLER_K40C, "single", ("csr",), 7, 0, NoiseModel()),
+            shard_key(entry, KEPLER_K40C, "single", ("csr",), 50, 1, NoiseModel()),
+            shard_key(entry, KEPLER_K40C, "single", ("csr",), 50, 0,
+                      NoiseModel(seed=9)),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+
+class TestObservability:
+    def test_progress_stream(self, campaign_corpus):
+        events = []
+        run_campaign(campaign_corpus, KEPLER_K40C, "single", seed=5,
+                     workers=2, progress=events.append)
+        assert len(events) == len(campaign_corpus)
+        assert all(isinstance(e, CampaignProgress) for e in events)
+        assert [e.done for e in events] == list(range(1, len(events) + 1))
+        last = events[-1]
+        assert last.total == last.done == last.ok + last.failed
+        assert set(last.format_means) == set(events[-1].format_means)
+        assert all(v > 0 for v in last.format_means.values())
+
+    def test_eta_zero_when_done(self, campaign_corpus):
+        events = []
+        run_campaign(list(campaign_corpus)[:3], KEPLER_K40C, "single",
+                     seed=5, progress=events.append)
+        assert events[-1].eta_s == 0.0

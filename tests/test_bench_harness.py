@@ -57,6 +57,51 @@ class TestRunnerConfig:
 
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert runner.bench_scale() == 0.1
+        monkeypatch.delenv("REPRO_REPS", raising=False)
+        assert runner.bench_reps() == 50
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert runner.bench_workers() == 1
+
+    def test_env_change_invalidates_corpus_cache(self, monkeypatch):
+        """No stale corpus when REPRO_* changes mid-process (no cache_clear)."""
+        from repro.bench import runner
+
+        monkeypatch.setenv("REPRO_MAX_NNZ", "60000")
+        monkeypatch.setenv("REPRO_SCALE", "0.008")
+        c1 = runner.bench_corpus()
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        c2 = runner.bench_corpus()
+        assert len(c2) > len(c1)
+        monkeypatch.setenv("REPRO_SCALE", "0.008")
+        assert runner.bench_corpus() is c1  # memoised per config
+
+    def test_env_change_invalidates_dataset_cache(self, monkeypatch, tmp_path):
+        from repro.bench import runner
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_MAX_NNZ", "40000")
+        monkeypatch.setenv("REPRO_SCALE", "0.008")
+        ds0 = runner.bench_dataset("k40c", "single")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        ds9 = runner.bench_dataset("k40c", "single")
+        assert ds0 is not ds9
+        assert ds0.names != ds9.names or not np.array_equal(ds0.times, ds9.times)
+
+    def test_reps_in_disk_cache_tag(self, monkeypatch, tmp_path):
+        """Campaigns at different rep counts must not collide on disk."""
+        from repro.bench import runner
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_MAX_NNZ", "40000")
+        monkeypatch.setenv("REPRO_SCALE", "0.008")
+        monkeypatch.setenv("REPRO_REPS", "3")
+        ds3 = runner.bench_dataset("k40c", "single")
+        monkeypatch.setenv("REPRO_REPS", "5")
+        ds5 = runner.bench_dataset("k40c", "single")
+        assert ds3.reps == 3 and ds5.reps == 5
+        tags = {p.name for p in tmp_path.glob("*.npz")}
+        assert {"k40c_single_s0.008_m40000_r0_n3.npz",
+                "k40c_single_s0.008_m40000_r0_n5.npz"} <= tags
 
 
 class TestExperimentsTinyScale:

@@ -80,6 +80,37 @@ class TestLabelTrainPredict:
             assert fmt in FORMAT_NAMES
 
 
+class TestCampaign:
+    def test_campaign_runs_and_resumes(self, tmp_path, capsys):
+        out = tmp_path / "campaign.npz"
+        failures = tmp_path / "failures.csv"
+        argv = ["campaign", "--scale", "0.008", "--max-nnz", "40000",
+                "--workers", "2", "--out", str(out),
+                "--failures", str(failures)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "best-format distribution" in first
+        assert out.exists() and failures.exists()
+        assert out.with_suffix(".npz.shards").is_dir()
+        # Second run resumes from shards instead of re-measuring.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cached=" in second
+
+    def test_campaign_dataset_matches_label(self, tmp_path):
+        from repro.core import SpMVDataset
+
+        camp, lab = tmp_path / "c.npz", tmp_path / "l.npz"
+        common = ["--scale", "0.008", "--max-nnz", "40000"]
+        assert main(["campaign", *common, "--no-resume", "--quiet",
+                     "--out", str(camp)]) == 0
+        assert main(["label", *common, "--out", str(lab)]) == 0
+        a, b = SpMVDataset.load(camp), SpMVDataset.load(lab)
+        assert a.names == b.names
+        np.testing.assert_array_equal(a.times, b.times)
+        assert a.reps == b.reps == 50
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -6,7 +6,7 @@ import pytest
 from repro.core import SpMVDataset, build_dataset
 from repro.features import ALL_FEATURES
 from repro.formats import FORMAT_NAMES
-from repro.gpu import KEPLER_K40C
+from repro.gpu import KEPLER_K40C, PASCAL_P100
 
 
 class TestBuild:
@@ -85,6 +85,7 @@ class TestPersistence:
         assert loaded.names == mini_dataset.names
         assert loaded.formats == mini_dataset.formats
         assert loaded.device == mini_dataset.device
+        assert loaded.reps == mini_dataset.reps == 50
         np.testing.assert_allclose(loaded.times, mini_dataset.times)
         np.testing.assert_allclose(loaded.feature_array, mini_dataset.feature_array)
 
@@ -95,6 +96,44 @@ class TestPersistence:
             mini_corpus, KEPLER_K40C, "single", seed=99, cache_path=path
         )
         # Served from cache: seed 99 never ran.
+        np.testing.assert_allclose(loaded.times, mini_dataset.times)
+
+    def test_cache_wrong_device_rebuilt(self, tmp_path, mini_corpus, mini_dataset):
+        """A cache from another GPU must not be served (it used to be)."""
+        path = tmp_path / "cache.npz"
+        mini_dataset.save(path)  # measured on the K40c
+        rebuilt = build_dataset(
+            mini_corpus, PASCAL_P100, "single", seed=3, cache_path=path
+        )
+        assert rebuilt.device == PASCAL_P100.name
+        assert not np.allclose(rebuilt.times, mini_dataset.times)
+        # The stale cache was replaced with the rebuilt measurements.
+        assert SpMVDataset.load(path).device == PASCAL_P100.name
+
+    def test_cache_wrong_reps_rebuilt(self, tmp_path, mini_corpus, mini_dataset):
+        path = tmp_path / "cache.npz"
+        mini_dataset.save(path)  # reps=50
+        rebuilt = build_dataset(
+            mini_corpus, KEPLER_K40C, "single", seed=3, reps=5, cache_path=path
+        )
+        assert rebuilt.reps == 5
+
+    def test_cache_legacy_reps_accepted(self, tmp_path, mini_corpus, mini_dataset):
+        """Datasets saved before reps was recorded (reps=0) stay usable."""
+        path = tmp_path / "cache.npz"
+        legacy = SpMVDataset(
+            names=mini_dataset.names,
+            feature_array=mini_dataset.feature_array,
+            times=mini_dataset.times,
+            formats=mini_dataset.formats,
+            device=mini_dataset.device,
+            precision=mini_dataset.precision,
+            reps=0,
+        )
+        legacy.save(path)
+        loaded = build_dataset(
+            mini_corpus, KEPLER_K40C, "single", seed=99, cache_path=path
+        )
         np.testing.assert_allclose(loaded.times, mini_dataset.times)
 
     def test_validation_on_construction(self, mini_dataset):

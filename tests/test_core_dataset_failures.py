@@ -16,11 +16,14 @@ class TestLabelingUnderFailures:
         assert label.best_format != "ell"
         assert len(label.times) == 5
 
-    def test_failed_format_absent_from_slowdown(self, skewed_coo):
+    def test_failed_format_slowdown_is_inf(self, skewed_coo):
+        """A failed format is infinitely worse, not a KeyError."""
         ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=1.5)
         label = label_matrix(ex, skewed_coo)
+        assert label.slowdown("ell") == float("inf")
+        # Formats never requested still raise.
         with pytest.raises(KeyError):
-            label.slowdown("ell")
+            label.slowdown("not_a_format")
 
 
 class TestDatasetDropsIncomplete:

@@ -37,6 +37,12 @@ class TestLabelMatrix:
         assert set(label.times) == {"ell", "csr", "hyb"}
         assert label.best_format in {"ell", "csr", "hyb"}
 
+    def test_slowdown_of_failed_format_is_inf(self, skewed_coo):
+        ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=2.0)
+        label = label_matrix(ex, skewed_coo)
+        assert "ell" in label.failed
+        assert label.slowdown("ell") == float("inf")
+
     def test_failures_recorded(self, skewed_coo):
         ex = SpMVExecutor(KEPLER_K40C, "single", ell_padding_limit=2.0)
         label = label_matrix(ex, skewed_coo)
