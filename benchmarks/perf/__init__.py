@@ -1,0 +1,15 @@
+"""Runnable perf-benchmark entry point: ``python -m benchmarks.perf``.
+
+Thin wrapper around :mod:`repro.bench.perf` (also exposed as the
+``repro-spmv perf`` subcommand).  Writes ``BENCH_<date>.json`` tracking
+the before/after timings of the one-pass matrix analyzer and the
+presorted-feature tree/boosting training paths.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:  # pragma: no cover - path shim
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,7 @@
+import sys
+
+from . import _SRC  # noqa: F401  (ensures src/ is importable)
+from repro.bench.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,9 +58,12 @@ from .formats import (  # noqa: F401
     as_format,
 )
 from .gpu import SpMVExecutor, KEPLER_K40C, PASCAL_P100  # noqa: F401
+from .analysis import MatrixAnalysis, analyze_matrix  # noqa: F401
 
 __all__ = [
     "__version__",
+    "MatrixAnalysis",
+    "analyze_matrix",
     "COOMatrix",
     "CSRMatrix",
     "ELLMatrix",

@@ -41,7 +41,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 import numpy as np
 
 from ..core.labeling import DEFAULT_REPS, label_matrix
-from ..features import ALL_FEATURES, extract_features
+from ..features import ALL_FEATURES
 from ..formats import FORMAT_NAMES
 from ..gpu import DeviceSpec, NoiseModel, SpMVExecutor
 from ..matrices import CorpusEntry
@@ -261,8 +261,11 @@ def _label_one(payload: Tuple) -> MatrixResult:
                     alarm_set = True
             matrix = entry.build()
             executor = SpMVExecutor(device, precision, noise=noise, seed=seed)
-            profile = executor.profile(matrix)
-            features = extract_features(matrix)
+            # One structural scan produces the profile and all 17
+            # features (repro.analysis) — the campaign's per-matrix
+            # analysis cost is one pass, not two.
+            analysis = executor.analyze(matrix)
+            features = analysis.features
             label = label_matrix(
                 executor,
                 matrix,
@@ -270,7 +273,7 @@ def _label_one(payload: Tuple) -> MatrixResult:
                 formats=formats,
                 reps=reps,
                 features=features,
-                profile=profile,
+                profile=analysis.profile,
             )
             if not label.complete:
                 reasons = "; ".join(

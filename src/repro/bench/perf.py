@@ -1,0 +1,311 @@
+"""Tracked performance-benchmark harness (``repro-spmv perf``).
+
+Times the hot paths this repo's growth loop watches and writes a
+``BENCH_<date>.json`` at the repo root so speedups (and regressions)
+leave a tracked trail:
+
+* **analysis per matrix** — the unified one-pass analyzer
+  (:func:`repro.analysis.analyze_matrix`) against the frozen two-pass
+  reference (separate profile + feature scans, four ``np.unique`` full
+  sorts), over a corpus sample.
+* **label per matrix** — :func:`repro.core.labeling.label_matrix` end to
+  end, before (explicit two-pass profile/features) vs after (the shared
+  ``executor.analyze`` scan).
+* **tree fit / boosting fit** — ``presort=False`` (the historical
+  per-node sorting implementation) vs ``presort=True`` (root presort +
+  stable partition; see :mod:`repro.ml.tree`) on the repo's labeled
+  dataset at the configured scale.
+* **campaign end-to-end** — wall time of a tiny measurement campaign,
+  the integration number everything above feeds.
+
+The *reference workload* is the repository's own default benchmark
+scale (``REPRO_SCALE=0.1`` → ~219 matrices × 17 features), i.e. the
+dataset the test/bench suite actually trains on.  ``--quick`` shrinks
+every section to a seconds-long smoke run (same code paths, smaller
+samples) for use in the verify flow.
+
+All before/after pairs are *numerically equivalent by construction* —
+the equivalence is asserted bit-for-bit by
+``tests/test_analysis_equivalence.py`` and
+``tests/test_ml_presort_equivalence.py``; this harness only measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["run_benchmarks", "main"]
+
+SCHEMA = "repro-perf-bench/v1"
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    """Best wall time of ``repeats`` calls (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _speedup(before: float, after: float) -> float:
+    return before / after if after > 0 else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+
+def _bench_analysis(matrices: Sequence, repeats: int) -> Dict:
+    """One-pass analyzer vs the frozen two-pass reference."""
+    from ..analysis import (
+        analyze_matrix,
+        extract_features_two_pass,
+        profile_matrix_two_pass,
+    )
+
+    def before() -> None:
+        for m in matrices:
+            profile_matrix_two_pass(m)
+            extract_features_two_pass(m)
+
+    def after() -> None:
+        for m in matrices:
+            analyze_matrix(m)
+
+    t0 = _best_of(before, repeats)
+    t1 = _best_of(after, repeats)
+    n = len(matrices)
+    return {
+        "n_matrices": n,
+        "before_ms_per_matrix": 1e3 * t0 / n,
+        "after_ms_per_matrix": 1e3 * t1 / n,
+        "speedup": _speedup(t0, t1),
+    }
+
+
+def _bench_labeling(
+    matrices: Sequence, names: Sequence[str], device, precision: str,
+    reps: int, repeats: int,
+) -> Dict:
+    """label_matrix end to end, two-pass scans vs the shared analysis."""
+    from ..analysis import extract_features_two_pass, profile_matrix_two_pass
+    from ..core.labeling import label_matrix
+    from ..gpu import SpMVExecutor
+
+    def before() -> None:
+        # The pre-refactor shape: separate profile + feature scans, then
+        # label with both passed explicitly (skips executor.analyze).
+        ex = SpMVExecutor(device, precision)
+        for m, name in zip(matrices, names):
+            prof = profile_matrix_two_pass(m)
+            feats = extract_features_two_pass(m)
+            label_matrix(ex, m, name=name, reps=reps, profile=prof, features=feats)
+
+    def after() -> None:
+        ex = SpMVExecutor(device, precision)
+        for m, name in zip(matrices, names):
+            label_matrix(ex, m, name=name, reps=reps)
+
+    t0 = _best_of(before, repeats)
+    t1 = _best_of(after, repeats)
+    n = len(matrices)
+    return {
+        "n_matrices": n,
+        "reps": reps,
+        "before_ms_per_matrix": 1e3 * t0 / n,
+        "after_ms_per_matrix": 1e3 * t1 / n,
+        "speedup": _speedup(t0, t1),
+    }
+
+
+def _bench_tree_fit(X: np.ndarray, y: np.ndarray, repeats: int) -> Dict:
+    """CART fit: per-node sorting (presort=False) vs root presort."""
+    from ..ml import DecisionTreeClassifier
+
+    t0 = _best_of(
+        lambda: DecisionTreeClassifier(max_depth=16, presort=False).fit(X, y), repeats
+    )
+    t1 = _best_of(
+        lambda: DecisionTreeClassifier(max_depth=16, presort=True).fit(X, y), repeats
+    )
+    return {
+        "n_samples": int(X.shape[0]),
+        "n_features": int(X.shape[1]),
+        "before_s": t0,
+        "after_s": t1,
+        "speedup": _speedup(t0, t1),
+    }
+
+
+def _bench_boosting_fit(
+    X: np.ndarray, y: np.ndarray, n_estimators: int, repeats: int
+) -> Dict:
+    """XGBoost-style fit: per-node sorting vs hoisted fit-wide presort."""
+    from ..ml import GradientBoostingClassifier
+
+    def fit(presort: bool) -> None:
+        GradientBoostingClassifier(
+            n_estimators=n_estimators, max_depth=6, presort=presort
+        ).fit(X, y)
+
+    t0 = _best_of(lambda: fit(False), repeats)
+    t1 = _best_of(lambda: fit(True), repeats)
+    return {
+        "n_samples": int(X.shape[0]),
+        "n_features": int(X.shape[1]),
+        "n_estimators": n_estimators,
+        "before_s": t0,
+        "after_s": t1,
+        "speedup": _speedup(t0, t1),
+    }
+
+
+def _bench_campaign(scale: float, max_nnz: int, device) -> Dict:
+    """Wall time of one tiny end-to-end measurement campaign."""
+    from .campaign import run_campaign
+    from ..matrices import SyntheticCorpus
+
+    corpus = SyntheticCorpus(scale=scale, seed=0, max_nnz=max_nnz)
+    start = time.perf_counter()
+    result = run_campaign(corpus, device, "single", reps=10, workers=1)
+    wall = time.perf_counter() - start
+    return {
+        "scale": scale,
+        "n_matrices": len(corpus),
+        "n_ok": result.n_ok,
+        "wall_s": wall,
+        "ms_per_matrix": 1e3 * wall / max(1, len(corpus)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_benchmarks(quick: bool = False) -> Dict:
+    """Run every section and return the report dict."""
+    from .runner import bench_config
+    from ..gpu import DEVICES
+    from ..matrices import SyntheticCorpus
+
+    cfg = bench_config()
+    device = DEVICES["k40c"]
+
+    # Corpus sample for the per-matrix sections.  Corpus entries are
+    # ordered by size family, so stride-sampling (not truncation) keeps
+    # the realistic nnz distribution — including the large tail where
+    # analysis time actually concentrates.
+    sample_n = 12 if quick else 96
+    max_nnz = 200_000 if quick else cfg.max_nnz
+    corpus = SyntheticCorpus(scale=cfg.scale, seed=cfg.seed, max_nnz=max_nnz)
+    entries = list(corpus)
+    entries = entries[:: max(1, len(entries) // sample_n)][:sample_n]
+    matrices = [e.build() for e in entries]
+    names = [e.name for e in entries]
+    repeats = 1 if quick else 3
+
+    sections: Dict[str, Dict] = {}
+    sections["analysis_per_matrix"] = _bench_analysis(matrices, repeats)
+    sections["label_per_matrix"] = _bench_labeling(
+        matrices, names, device, "single", reps=10 if quick else 50, repeats=repeats
+    )
+
+    # The ML reference workload: the repo's labeled dataset at the
+    # configured bench scale (default REPRO_SCALE=0.1 → ~219 matrices).
+    from .campaign import run_campaign
+
+    train_scale = 0.02 if quick else cfg.scale
+    train_corpus = SyntheticCorpus(scale=train_scale, seed=cfg.seed, max_nnz=max_nnz)
+    ds = run_campaign(
+        train_corpus, device, "single", reps=10, workers=1
+    ).to_dataset()
+    X, y = ds.feature_array, ds.labels
+
+    sections["tree_fit"] = _bench_tree_fit(X, y, repeats)
+    sections["boosting_fit"] = _bench_boosting_fit(
+        X, y, n_estimators=8 if quick else 40, repeats=repeats
+    )
+    sections["campaign_e2e"] = _bench_campaign(
+        0.005 if quick else 0.02, max_nnz, device
+    )
+
+    return {
+        "schema": SCHEMA,
+        "generated": _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": {
+            "scale": cfg.scale,
+            "train_scale": train_scale,
+            "sample_matrices": len(matrices),
+            "train_matrices": int(X.shape[0]),
+            "max_nnz": max_nnz,
+        },
+        "sections": sections,
+    }
+
+
+def _render(report: Dict) -> str:
+    lines = [
+        f"perf benchmark ({'quick' if report['quick'] else 'full'}) — "
+        f"python {report['python']}, numpy {report['numpy']}",
+    ]
+    rows: List[tuple] = []
+    for name, sec in report["sections"].items():
+        if "speedup" in sec:
+            if "before_ms_per_matrix" in sec:
+                before = f"{sec['before_ms_per_matrix']:.2f} ms"
+                after = f"{sec['after_ms_per_matrix']:.2f} ms"
+            else:
+                before = f"{sec['before_s']:.3f} s"
+                after = f"{sec['after_s']:.3f} s"
+            rows.append((name, before, after, f"{sec['speedup']:.2f}x"))
+        else:
+            rows.append((name, "-", f"{sec['wall_s']:.3f} s", "-"))
+    widths = [max(len(str(r[i])) for r in rows + [("section", "before", "after", "speedup")])
+              for i in range(4)]
+    header = ("section", "before", "after", "speedup")
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv perf",
+        description="Run the tracked performance benchmarks and write BENCH_<date>.json",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-long smoke run (same code paths, small samples)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: ./BENCH_<date>.json)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick)
+    out = args.out
+    if out is None:
+        out = Path.cwd() / f"BENCH_{_dt.date.today().isoformat()}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(_render(report))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

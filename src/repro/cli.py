@@ -15,6 +15,8 @@ Subcommands cover the full workflow a downstream user needs:
   files.
 * ``table``    — regenerate one of the paper's tables/figures at the
   configured scale.
+* ``perf``     — run the tracked performance benchmarks (one-pass
+  analysis, presorted tree/boosting fits) and write ``BENCH_<date>.json``.
 
 Every command is importable (``from repro.cli import main``) and returns
 a process exit code, so the test suite drives it in-process.
@@ -106,6 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table", help="regenerate a paper table/figure")
     p.add_argument("name", choices=("table1", "fig3", "table5", "table8",
                                     "table10", "fig6", "table14", "importance"))
+
+    p = sub.add_parser(
+        "perf",
+        help="run the tracked performance benchmarks",
+        description="Time the one-pass matrix analyzer, labeling, and "
+        "presorted tree/boosting fits against their historical "
+        "implementations and write BENCH_<date>.json.",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="seconds-long smoke run (same code paths, small samples)")
+    p.add_argument("--out", type=Path, default=None,
+                   help="output JSON path (default: ./BENCH_<date>.json)")
     return parser
 
 
@@ -322,6 +336,17 @@ def _cmd_table(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from .bench.perf import main as perf_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.out is not None:
+        argv.extend(["--out", str(args.out)])
+    return perf_main(argv)
+
+
 _COMMANDS = {
     "corpus": _cmd_corpus,
     "features": _cmd_features,
@@ -330,6 +355,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "table": _cmd_table,
+    "perf": _cmd_perf,
 }
 
 

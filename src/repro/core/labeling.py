@@ -103,8 +103,13 @@ def label_matrix(
     ValueError
         If *no* requested format could execute.
     """
-    prof = profile if profile is not None else executor.profile(matrix)
-    feats = features if features is not None else extract_features(matrix)
+    if profile is None and features is None:
+        # One shared structural scan yields both (see repro.analysis).
+        analysis = executor.analyze(matrix)
+        prof, feats = analysis.profile, analysis.features
+    else:
+        prof = profile if profile is not None else executor.profile(matrix)
+        feats = features if features is not None else extract_features(matrix)
     times: Dict[str, float] = {}
     gflops: Dict[str, float] = {}
     failed: Dict[str, str] = {}

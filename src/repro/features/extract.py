@@ -105,64 +105,19 @@ def extract_features(matrix: Union[SparseFormat, CSRMatrix]) -> Dict[str, float]
     dict
         Feature name → value for every name in :data:`ALL_FEATURES`.
         Empty matrices yield all-zero chunk statistics.
+
+    Notes
+    -----
+    Thin wrapper over :func:`repro.analysis.analyze_matrix`, which
+    computes these features *and* the kernel-model
+    :class:`~repro.gpu.profile.MatrixProfile` from one shared scan;
+    callers needing both should call ``analyze_matrix`` directly.
+    Results are bit-identical to the historical standalone extraction
+    (see ``tests/test_analysis_equivalence.py``).
     """
-    csr = matrix if isinstance(matrix, CSRMatrix) else CSRMatrix.from_coo(matrix.to_coo())
-    n_rows, n_cols = csr.shape
-    nnz = csr.nnz
-    lengths = np.diff(csr.indptr)
+    from ..analysis import analyze_matrix
 
-    feats: Dict[str, float] = {
-        "n_rows": float(n_rows),
-        "n_cols": float(n_cols),
-        "nnz_tot": float(nnz),
-        "nnz_mu": float(lengths.mean()) if n_rows else 0.0,
-        # Table I reports density in percent; we keep the same unit.
-        "nnz_frac": 100.0 * nnz / (n_rows * n_cols) if n_rows and n_cols else 0.0,
-        "nnz_max": float(lengths.max()) if n_rows else 0.0,
-        "nnz_min": float(lengths.min()) if n_rows else 0.0,
-        "nnz_sigma": float(lengths.std()) if n_rows else 0.0,
-    }
-
-    if nnz == 0:
-        feats.update(
-            nnzb_mu=0.0, nnzb_sigma=0.0, nnzb_min=0.0, nnzb_max=0.0,
-            nnzb_tot=0.0, snzb_mu=0.0, snzb_sigma=0.0, snzb_min=0.0,
-            snzb_max=0.0,
-        )
-        return feats
-
-    # --- contiguous chunk analysis (one vectorised scan) ---------------
-    # A chunk starts where a row starts or where the column index jumps
-    # by more than one.  Canonical CSR guarantees sorted columns per row.
-    col = csr.indices.astype(np.int64)
-    chunk_start = np.empty(nnz, dtype=bool)
-    chunk_start[0] = True
-    np.not_equal(col[1:], col[:-1] + 1, out=chunk_start[1:])
-    row_starts = csr.indptr[:-1][lengths > 0]
-    chunk_start[row_starts] = True
-
-    start_pos = np.flatnonzero(chunk_start)
-    n_chunks = start_pos.size
-    chunk_sizes = np.diff(np.append(start_pos, nnz))
-
-    # Chunks per row: count chunk starts within each row slice.
-    counts = np.zeros(n_rows, dtype=np.int64)
-    if n_rows:
-        owner = np.searchsorted(csr.indptr, start_pos, side="right") - 1
-        np.add.at(counts, owner, 1)
-
-    feats.update(
-        nnzb_tot=float(n_chunks),
-        nnzb_mu=float(counts.mean()) if n_rows else 0.0,
-        nnzb_sigma=float(counts.std()) if n_rows else 0.0,
-        nnzb_min=float(counts.min()) if n_rows else 0.0,
-        nnzb_max=float(counts.max()) if n_rows else 0.0,
-        snzb_mu=float(chunk_sizes.mean()),
-        snzb_sigma=float(chunk_sizes.std()),
-        snzb_min=float(chunk_sizes.min()),
-        snzb_max=float(chunk_sizes.max()),
-    )
-    return feats
+    return analyze_matrix(matrix).features
 
 
 def feature_vector(
@@ -175,8 +130,16 @@ def feature_vector(
 def feature_matrix(
     feature_dicts: Iterable[Dict[str, float]], names: Sequence[str] = ALL_FEATURES
 ) -> np.ndarray:
-    """Stack many feature dicts into an ``(n_samples, n_features)`` array."""
-    rows: List[np.ndarray] = [feature_vector(d, names) for d in feature_dicts]
-    if not rows:
-        return np.zeros((0, len(tuple(names))))
-    return np.vstack(rows)
+    """Stack many feature dicts into an ``(n_samples, n_features)`` array.
+
+    Fills one preallocated array instead of materialising a per-sample
+    row vector and ``np.vstack``-ing the pile.
+    """
+    names = tuple(names)
+    dicts: List[Dict[str, float]] = list(feature_dicts)
+    out = np.empty((len(dicts), len(names)), dtype=np.float64)
+    for i, d in enumerate(dicts):
+        row = out[i]
+        for j, name in enumerate(names):
+            row[j] = d[name]
+    return out

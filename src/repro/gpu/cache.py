@@ -25,10 +25,81 @@ cheaper gathers than scattered ones of identical size.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
 from .device import DeviceSpec
 from .profile import GatherStats, MatrixProfile
 
-__all__ = ["gather_traffic_bytes", "L2_X_SHARE", "CONFLICT_MISS_RATE"]
+__all__ = [
+    "gather_traffic_bytes",
+    "L2_X_SHARE",
+    "CONFLICT_MISS_RATE",
+    "LRUCache",
+]
+
+
+class LRUCache:
+    """Small bounded least-recently-used mapping.
+
+    Used by :class:`~repro.gpu.executor.SpMVExecutor` to bound its
+    per-matrix analysis and converted-format caches: a long measurement
+    campaign streams thousands of matrices through one executor, and an
+    unbounded dict would retain every profile (and, worse, every
+    converted format) for the life of the process.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries; the least recently *used* entry is
+        evicted first.  ``None`` disables the bound (unbounded cache).
+    """
+
+    def __init__(self, maxsize: Optional[int] = 128) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite an entry, evicting the LRU one if needed."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        self._evict()
+
+    def setdefault(self, key: Hashable, value: Any) -> Any:
+        """Insert ``value`` unless present; return the cached entry."""
+        try:
+            existing = self._data[key]
+        except KeyError:
+            self._data[key] = value
+            self._evict()
+            return value
+        self._data.move_to_end(key)
+        return existing
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def _evict(self) -> None:
+        if self.maxsize is not None:
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
 #: Fraction of L2 effectively available to cache x (the rest is churned
 #: by the streaming matrix arrays).

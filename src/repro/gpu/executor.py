@@ -29,10 +29,11 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from ..formats import FORMAT_NAMES, SparseFormat, as_format
+from .cache import LRUCache
 from .device import DeviceSpec
 from .kernels import IDX, CostBreakdown, estimate_time
 from .noise import NoiseModel
-from .profile import MatrixProfile, profile_matrix
+from .profile import MatrixProfile
 
 __all__ = [
     "SpMVExecutor",
@@ -99,6 +100,15 @@ class SpMVExecutor:
         (default) lets ELL run arbitrarily padded — like a real GPU,
         where a skewed matrix makes ELL *slow* long before the
         allocation fails — so only genuine OOM drops a matrix.
+    profile_cache_maxsize:
+        Bound on the per-structure analysis cache (LRU eviction); a
+        long campaign streams thousands of matrices through one
+        executor, so the cache must not grow without limit.  ``None``
+        restores the old unbounded behaviour.
+    format_cache_maxsize:
+        Bound on the converted-format cache used by :meth:`run` (LRU);
+        converted formats hold full index/value arrays, so the default
+        is deliberately small.  ``None`` is unbounded.
     """
 
     def __init__(
@@ -109,6 +119,8 @@ class SpMVExecutor:
         noise: Optional[NoiseModel] = None,
         seed: int = 0,
         ell_padding_limit: Optional[float] = None,
+        profile_cache_maxsize: Optional[int] = 256,
+        format_cache_maxsize: Optional[int] = 16,
     ) -> None:
         if precision not in ("single", "double"):
             raise ValueError(f"precision must be 'single' or 'double', got {precision!r}")
@@ -117,16 +129,28 @@ class SpMVExecutor:
         self.noise = noise if noise is not None else NoiseModel()
         self.rng = np.random.default_rng(seed)
         self.ell_padding_limit = None if ell_padding_limit is None else float(ell_padding_limit)
-        self._profile_cache: Dict[bytes, MatrixProfile] = {}
+        self._analysis_cache = LRUCache(profile_cache_maxsize)
+        self._format_cache = LRUCache(format_cache_maxsize)
 
     # -- profiling -------------------------------------------------------
+
+    def analyze(self, matrix: SparseFormat):
+        """One-pass structural analysis (profile + 17 features), cached.
+
+        Returns a :class:`~repro.analysis.MatrixAnalysis`; repeat calls
+        for the same structure are served from a bounded LRU cache
+        keyed by the structure digest.
+        """
+        from ..analysis import analyze_matrix
+
+        analysis = analyze_matrix(matrix)
+        return self._analysis_cache.setdefault(analysis.profile.digest, analysis)
 
     def profile(self, matrix: Union[SparseFormat, MatrixProfile]) -> MatrixProfile:
         """Profile ``matrix`` (cached by structure digest)."""
         if isinstance(matrix, MatrixProfile):
             return matrix
-        prof = profile_matrix(matrix)
-        return self._profile_cache.setdefault(prof.digest, prof)
+        return self.analyze(matrix).profile
 
     # -- feasibility -------------------------------------------------------
 
@@ -248,8 +272,20 @@ class SpMVExecutor:
         prof = self.profile(matrix)
         self.check_feasible(prof, fmt)
         dtype = np.float32 if self.precision == "single" else np.float64
-        coo = matrix.to_coo().astype(dtype)
-        A = as_format(coo, fmt)
+        # Converted formats are cached per (structure digest, fmt, dtype)
+        # so repeated runs of the same matrix skip the COO round-trip and
+        # format build.  The digest covers structure only, so the cached
+        # entry also pins its source object and is bypassed when a
+        # different matrix instance shares the structure (same shape and
+        # sparsity pattern but possibly different values).
+        key = (prof.digest, fmt, np.dtype(dtype).str)
+        hit = self._format_cache.get(key)
+        if hit is not None and hit[0] is matrix:
+            A = hit[1]
+        else:
+            coo = matrix.to_coo().astype(dtype)
+            A = as_format(coo, fmt)
+            self._format_cache.put(key, (matrix, A))
         if x is None:
             x = np.ones(matrix.n_cols, dtype=dtype)
         y = A.spmv(np.asarray(x, dtype=dtype))

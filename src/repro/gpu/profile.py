@@ -145,81 +145,15 @@ def _gather_stats(csr: CSRMatrix, itemsize: int, line_bytes: int = 128) -> Gathe
 
 
 def profile_matrix(matrix: Union[SparseFormat, CSRMatrix]) -> MatrixProfile:
-    """Run the single O(nnz) analysis pass and return the profile."""
-    csr = matrix if isinstance(matrix, CSRMatrix) else CSRMatrix.from_coo(matrix.to_coo())
-    lengths = np.diff(csr.indptr)
-    nnz = csr.nnz
-    n_rows = csr.n_rows
+    """Run the single O(nnz) analysis pass and return the profile.
 
-    if n_rows:
-        mu = float(lengths.mean())
-        sigma = float(lengths.std())
-        lmax = int(lengths.max())
-        lmin = int(lengths.min())
-    else:
-        mu = sigma = 0.0
-        lmax = lmin = 0
+    Thin wrapper over :func:`repro.analysis.analyze_matrix`, which
+    computes this profile *and* the 17 features from one shared scan;
+    callers needing both should use ``analyze_matrix`` (or
+    :meth:`repro.gpu.SpMVExecutor.analyze`) directly so the scan is not
+    repeated.  Results are bit-identical to the historical standalone
+    pass (see ``tests/test_analysis_equivalence.py``).
+    """
+    from ..analysis import analyze_matrix
 
-    # Warp factors: group consecutive rows in 32s (pad the tail).
-    if n_rows and nnz:
-        pad_rows = (-n_rows) % 32
-        padded = np.concatenate([lengths, np.zeros(pad_rows, dtype=lengths.dtype)])
-        warp_max = padded.reshape(-1, 32).max(axis=1)
-        warp_divergence = float(32.0 * warp_max.sum() / nnz)
-        vector_waste = float((np.ceil(lengths / 32.0) * 32.0).sum() / nnz)
-    else:
-        warp_divergence = 1.0
-        vector_waste = 1.0
-
-    # HYB split at the paper's mean-row-length threshold.
-    if nnz and n_rows:
-        k = max(1, int(np.ceil(nnz / n_rows)))
-        clipped = np.minimum(lengths, k)
-        hyb_ell_nnz = int(clipped.sum())
-        hyb_spill = nnz - hyb_ell_nnz
-        hyb_spill_rows = int(np.count_nonzero(lengths > k))
-    else:
-        k = 0
-        hyb_ell_nnz = 0
-        hyb_spill = 0
-        hyb_spill_rows = 0
-
-    gather = {
-        "single": _gather_stats(csr, 4),
-        "double": _gather_stats(csr, 8),
-    }
-
-    # Extension-format geometry: occupied diagonals and occupied 4x4
-    # blocks (one np.unique each; same O(nnz log nnz) class as the scan).
-    if nnz:
-        rows64 = np.repeat(
-            np.arange(n_rows, dtype=np.int64), lengths
-        )
-        cols64 = csr.indices.astype(np.int64)
-        n_diags = int(np.unique(cols64 - rows64).size)
-        n_bcols = -(-csr.n_cols // 4)
-        bsr_blocks = int(np.unique((rows64 // 4) * n_bcols + cols64 // 4).size)
-    else:
-        n_diags = 0
-        bsr_blocks = 0
-
-    return MatrixProfile(
-        n_rows=n_rows,
-        n_cols=csr.n_cols,
-        nnz=nnz,
-        nnz_mu=mu,
-        nnz_sigma=sigma,
-        nnz_max=lmax,
-        nnz_min=lmin,
-        empty_rows=int(np.count_nonzero(lengths == 0)),
-        warp_divergence=max(1.0, warp_divergence),
-        vector_waste=max(1.0, vector_waste),
-        hyb_threshold=k,
-        hyb_ell_nnz=hyb_ell_nnz,
-        hyb_spill_nnz=hyb_spill,
-        hyb_spill_rows=hyb_spill_rows,
-        n_diags=n_diags,
-        bsr_blocks=bsr_blocks,
-        gather=gather,
-        digest=_structure_digest(csr),
-    )
+    return analyze_matrix(matrix).profile

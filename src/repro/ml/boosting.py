@@ -12,6 +12,18 @@ regularisation (``reg_lambda``), minimum split gain (``gamma``), and
 optional row subsampling.  Multiclass classification trains one tree
 per class per round on softmax gradients.
 
+Training uses **presorted features** throughout: the feature matrix
+``X`` never changes across boosting rounds (or across the per-class
+trees of one round), so the per-feature stable ``argsort`` is computed
+exactly once per ``fit`` and shared by every tree; inside a tree the
+sorted index lists are partitioned stably down the nodes (see
+:mod:`repro.ml.tree` for the same trick on standalone CART).  With row
+subsampling (``subsample < 1``) each tree sees a different sample set,
+so the root sort is per-tree — still hoisted out of the per-node loop.
+Splits and predictions are bit-identical to the historical per-node
+sorting implementation (``presort=False`` keeps it selectable; the
+perf harness uses it as the before/after baseline).
+
 Feature importance is reported both ways XGBoost does:
 
 * ``feature_importances_`` — total split gain per feature (normalised),
@@ -48,51 +60,123 @@ class _BoostTree:
     """One regression tree on (gradient, hessian) statistics."""
 
     def __init__(self, max_depth: int, reg_lambda: float, gamma: float,
-                 min_child_weight: float) -> None:
+                 min_child_weight: float, presort: bool = True) -> None:
         self.max_depth = max_depth
         self.reg_lambda = reg_lambda
         self.gamma = gamma
         self.min_child_weight = min_child_weight
+        self.presort = presort
         self.gain_by_feature: Optional[np.ndarray] = None
         self.splits_by_feature: Optional[np.ndarray] = None
 
-    def fit(self, X: np.ndarray, g: np.ndarray, h: np.ndarray) -> "_BoostTree":
+    def fit(
+        self,
+        X: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        sorted_idx: Optional[np.ndarray] = None,
+    ) -> "_BoostTree":
+        """Fit to gradients; ``sorted_idx`` is the optional (n_features,
+        n) per-feature stable argsort of ``X``, shared across trees by
+        the booster so it is computed once per boosting fit."""
         self.n_features = X.shape[1]
         self.gain_by_feature = np.zeros(self.n_features)
         self.splits_by_feature = np.zeros(self.n_features, dtype=np.int64)
-        self.root = self._build(X, g, h, depth=0)
+        n = X.shape[0]
+        if sorted_idx is None and self.presort:
+            sorted_idx = np.ascontiguousarray(np.argsort(X, axis=0, kind="stable").T)
+        if sorted_idx is not None:
+            self._left_buf = np.empty(n, dtype=bool)
+            self._XT = np.ascontiguousarray(X.T)
+        else:
+            self._left_buf = None
+            self._XT = None
+        self.root = self._build(X, g, h, np.arange(n), sorted_idx, depth=0)
+        self._left_buf = None
+        self._XT = None
         return self
 
     def _leaf_weight(self, G: float, H: float) -> float:
         return -G / (H + self.reg_lambda)
 
-    def _build(self, X: np.ndarray, g: np.ndarray, h: np.ndarray, depth: int) -> _BNode:
-        G, H = float(g.sum()), float(h.sum())
+    def _build(
+        self,
+        X: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        idx: np.ndarray,
+        sorted_idx: Optional[np.ndarray],
+        depth: int,
+    ) -> _BNode:
+        gs, hs = g[idx], h[idx]
+        G, H = float(gs.sum()), float(hs.sum())
         node = _BNode(weight=self._leaf_weight(G, H))
-        if depth >= self.max_depth or g.size < 2 or H < 2 * self.min_child_weight:
+        if depth >= self.max_depth or idx.size < 2 or H < 2 * self.min_child_weight:
             return node
 
         lam = self.reg_lambda
         parent_score = G * G / (H + lam)
         best_gain, best_feat, best_thr = 0.0, -1, 0.0
-        for f in range(self.n_features):
-            xs = X[:, f]
-            order = np.argsort(xs, kind="stable")
-            xo, go, ho = xs[order], g[order], h[order]
-            GL = np.cumsum(go)[:-1]
-            HL = np.cumsum(ho)[:-1]
-            valid = xo[1:] != xo[:-1]
-            valid &= (HL >= self.min_child_weight) & (H - HL >= self.min_child_weight)
+        if sorted_idx is not None:
+            # Presorted path: score every feature in one vectorised sweep.
+            # Each row of the (F, n) arrays is the node's samples in that
+            # feature's sorted order, so one axis-1 cumsum replaces the
+            # per-feature Python loop (row-wise cumsum accumulates in the
+            # same sequence as the 1-D version, and the in-place updates
+            # below apply the exact operation sequence of the loop, so
+            # results stay bitwise identical to the historical per-node
+            # sorting code).
+            xo = np.take_along_axis(self._XT, sorted_idx, axis=1)
+            go = np.take(g, sorted_idx)
+            ho = np.take(h, sorted_idx)
+            GL = np.cumsum(go, axis=1)[:, :-1]
+            HL = np.cumsum(ho, axis=1)[:, :-1]
+            valid = xo[:, 1:] != xo[:, :-1]
+            valid &= HL >= self.min_child_weight
+            HR = H - HL
+            valid &= HR >= self.min_child_weight
             if not valid.any():
-                continue
-            GR, HR = G - GL, H - HL
-            gain = 0.5 * (GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score) - self.gamma
-            gain[~valid] = -np.inf
-            i = int(np.argmax(gain))
-            if gain[i] > best_gain:
-                best_gain = float(gain[i])
+                return node
+            gain = G - GL            # becomes GR, then the full gain in place
+            gain *= gain             # GR²
+            HR += lam
+            gain /= HR               # GR²/(HR+λ)
+            GL *= GL                 # GL²
+            HL += lam
+            GL /= HL                 # GL²/(HL+λ)
+            gain += GL
+            gain -= parent_score
+            gain *= 0.5
+            gain -= self.gamma
+            np.logical_not(valid, out=valid)
+            np.copyto(gain, -np.inf, where=valid)
+            # C-order argmax ties break on (first feature, first position),
+            # exactly like the sequential strictly-greater loop below.
+            flat = int(np.argmax(gain))
+            f, i = divmod(flat, idx.size - 1)
+            if gain[f, i] > best_gain:
+                best_gain = float(gain[f, i])
                 best_feat = f
-                best_thr = 0.5 * float(xo[i] + xo[i + 1])
+                best_thr = 0.5 * float(xo[f, i] + xo[f, i + 1])
+        else:
+            for f in range(self.n_features):
+                xs = X[idx, f]
+                order = np.argsort(xs, kind="stable")
+                xo, go, ho = xs[order], gs[order], hs[order]
+                GL = np.cumsum(go)[:-1]
+                HL = np.cumsum(ho)[:-1]
+                valid = xo[1:] != xo[:-1]
+                valid &= (HL >= self.min_child_weight) & (H - HL >= self.min_child_weight)
+                if not valid.any():
+                    continue
+                GR, HR = G - GL, H - HL
+                gain = 0.5 * (GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score) - self.gamma
+                gain[~valid] = -np.inf
+                i = int(np.argmax(gain))
+                if gain[i] > best_gain:
+                    best_gain = float(gain[i])
+                    best_feat = f
+                    best_thr = 0.5 * float(xo[i] + xo[i + 1])
         if best_feat < 0:
             return node
 
@@ -100,9 +184,20 @@ class _BoostTree:
         node.threshold = best_thr
         self.gain_by_feature[best_feat] += best_gain
         self.splits_by_feature[best_feat] += 1
-        mask = X[:, best_feat] <= best_thr
-        node.left = self._build(X[mask], g[mask], h[mask], depth + 1)
-        node.right = self._build(X[~mask], g[~mask], h[~mask], depth + 1)
+        left = X[idx, best_feat] <= best_thr
+        idx_l, idx_r = idx[left], idx[~left]
+        if sorted_idx is None:
+            sl = sr = None
+        else:
+            # Stable partition of the per-feature sorted index lists via
+            # a shared boolean scratch (same trick as repro.ml.tree).
+            buf = self._left_buf
+            buf[idx] = left
+            take = buf[sorted_idx]
+            sl = sorted_idx[take].reshape(self.n_features, idx_l.size)
+            sr = sorted_idx[~take].reshape(self.n_features, idx_r.size)
+        node.left = self._build(X, g, h, idx_l, sl, depth + 1)
+        node.right = self._build(X, g, h, idx_r, sr, depth + 1)
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -134,6 +229,7 @@ class _BaseBooster(BaseEstimator):
         min_child_weight: float = 1.0,
         subsample: float = 1.0,
         seed: int = 0,
+        presort: bool = True,
     ) -> None:
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
@@ -143,6 +239,7 @@ class _BaseBooster(BaseEstimator):
         self.min_child_weight = min_child_weight
         self.subsample = subsample
         self.seed = seed
+        self.presort = presort
 
     def _check_hyper(self) -> None:
         if self.n_estimators < 1:
@@ -154,7 +251,18 @@ class _BaseBooster(BaseEstimator):
 
     def _new_tree(self) -> _BoostTree:
         return _BoostTree(self.max_depth, self.reg_lambda, self.gamma,
-                          self.min_child_weight)
+                          self.min_child_weight, presort=self.presort)
+
+    def _root_sort(self, X: np.ndarray) -> Optional[np.ndarray]:
+        """The fit-wide presort, when every tree sees all of ``X``.
+
+        X never changes across boosting rounds (or per-class trees), so
+        without row subsampling one stable argsort per feature serves
+        every tree of the whole fit.
+        """
+        if self.presort and self.subsample >= 1.0:
+            return np.ascontiguousarray(np.argsort(X, axis=0, kind="stable").T)
+        return None
 
     def _accumulate_importance(self, tree: _BoostTree) -> None:
         self._gain_acc += tree.gain_by_feature
@@ -187,11 +295,15 @@ class GradientBoostingRegressor(_BaseBooster):
         self._gain_acc = np.zeros(X.shape[1])
         self._fscore_acc = np.zeros(X.shape[1], dtype=np.int64)
         pred = np.full(y.shape, self.base_score_)
+        root_sorted = self._root_sort(X)
         for _ in range(self.n_estimators):
             idx = self._subsample_idx(y.size, rng)
             g = pred[idx] - y[idx]
             h = np.ones_like(g)
-            tree = self._new_tree().fit(X[idx], g, h)
+            if root_sorted is not None:
+                tree = self._new_tree().fit(X, g, h, sorted_idx=root_sorted)
+            else:
+                tree = self._new_tree().fit(X[idx], g, h)
             self.trees_.append(tree)
             self._accumulate_importance(tree)
             pred += self.learning_rate * tree.predict(X)
@@ -226,6 +338,7 @@ class GradientBoostingClassifier(_BaseBooster):
         self.trees_: List[List[_BoostTree]] = []
         self._gain_acc = np.zeros(X.shape[1])
         self._fscore_acc = np.zeros(X.shape[1], dtype=np.int64)
+        root_sorted = self._root_sort(X)
         for _ in range(self.n_estimators):
             # Softmax probabilities of the current margins.
             m = margins - margins.max(axis=1, keepdims=True)
@@ -236,7 +349,10 @@ class GradientBoostingClassifier(_BaseBooster):
             for k in range(K):
                 g = (p[idx, k] - onehot[idx, k])
                 h = np.maximum(p[idx, k] * (1.0 - p[idx, k]), 1e-6)
-                tree = self._new_tree().fit(X[idx], g, h)
+                if root_sorted is not None:
+                    tree = self._new_tree().fit(X, g, h, sorted_idx=root_sorted)
+                else:
+                    tree = self._new_tree().fit(X[idx], g, h)
                 round_trees.append(tree)
                 self._accumulate_importance(tree)
                 margins[:, k] += self.learning_rate * tree.predict(X)

@@ -4,10 +4,23 @@ The paper uses decision trees both directly (the "decs. tree" column of
 Tables IV–X, following Sedaghati et al.) and as the weak learner inside
 the XGBoost-style booster (:mod:`repro.ml.boosting`).
 
-The implementation is exact greedy CART: at every node each feature's
-values are sorted once and all candidate thresholds are scored in a
-single vectorised pass (prefix class-counts for Gini, prefix moments
-for variance reduction), giving O(n_features · n log n) per node.
+The implementation is exact greedy CART with **presorted features**
+(the classic scikit-learn/LightGBM presort trick): every feature is
+``argsort``-ed once at the root, and the per-feature sorted index
+partitions are maintained down the tree with a stable O(n) boolean
+partition per node.  Candidate thresholds at a node are then scored in
+a single vectorised pass over the already-sorted values (prefix class
+counts for Gini, prefix moments for variance reduction), so a node
+costs O(n_features · n) instead of the O(n_features · n log n) of
+re-sorting at every node.
+
+Because both the root argsort and the partition are stable, the value
+/ target sequences seen at every node are *identical* to the historical
+per-node ``np.argsort(kind="stable")`` implementation, so splits,
+thresholds and predictions are bit-for-bit unchanged (asserted by
+``tests/test_ml_presort_equivalence.py``).  ``presort=False`` keeps the
+historical per-node sorting path selectable — the perf harness uses it
+as its before/after baseline.
 """
 
 from __future__ import annotations
@@ -38,13 +51,15 @@ class _Node:
         return self.feature < 0
 
 
-def _best_split_gini(Xf: np.ndarray, y: np.ndarray, n_classes: int, min_leaf: int):
-    """Best (threshold, impurity decrease) of one feature for Gini.
+def _best_split_gini_sorted(
+    xs: np.ndarray, ys: np.ndarray, n_classes: int, min_leaf: int
+):
+    """Best (threshold, impurity decrease) for Gini on presorted values.
 
-    Returns ``(None, 0)`` when no admissible split exists.
+    ``xs`` must be ascending with ties in stable (original-index) order
+    and ``ys`` aligned to it.  Returns ``(None, 0)`` when no admissible
+    split exists.
     """
-    order = np.argsort(Xf, kind="stable")
-    xs, ys = Xf[order], y[order]
     n = xs.size
     onehot = np.zeros((n, n_classes))
     onehot[np.arange(n), ys] = 1.0
@@ -73,10 +88,14 @@ def _best_split_gini(Xf: np.ndarray, y: np.ndarray, n_classes: int, min_leaf: in
     return float(thr), float(decrease[best])
 
 
-def _best_split_mse(Xf: np.ndarray, y: np.ndarray, min_leaf: int):
-    """Best (threshold, SSE decrease / n) of one feature for regression."""
+def _best_split_gini(Xf: np.ndarray, y: np.ndarray, n_classes: int, min_leaf: int):
+    """Best Gini split of one unsorted feature (sorts, then scores)."""
     order = np.argsort(Xf, kind="stable")
-    xs, ys = Xf[order], y[order]
+    return _best_split_gini_sorted(Xf[order], y[order], n_classes, min_leaf)
+
+
+def _best_split_mse_sorted(xs: np.ndarray, ys: np.ndarray, min_leaf: int):
+    """Best (threshold, SSE decrease / n) on presorted values."""
     n = xs.size
     csum = np.cumsum(ys)
     csq = np.cumsum(ys * ys)
@@ -100,6 +119,12 @@ def _best_split_mse(Xf: np.ndarray, y: np.ndarray, min_leaf: int):
     return float(thr), float(decrease[best])
 
 
+def _best_split_mse(Xf: np.ndarray, y: np.ndarray, min_leaf: int):
+    """Best regression split of one unsorted feature (sorts, then scores)."""
+    order = np.argsort(Xf, kind="stable")
+    return _best_split_mse_sorted(Xf[order], y[order], min_leaf)
+
+
 class _BaseTree(BaseEstimator):
     """Shared CART machinery; subclasses define leaf values and splits."""
 
@@ -110,12 +135,14 @@ class _BaseTree(BaseEstimator):
         min_samples_leaf: int = 1,
         max_features: Optional[int] = None,
         seed: int = 0,
+        presort: bool = True,
     ) -> None:
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = seed
+        self.presort = presort
 
     # subclass hooks ------------------------------------------------------
 
@@ -123,6 +150,9 @@ class _BaseTree(BaseEstimator):
         raise NotImplementedError
 
     def _split(self, Xf: np.ndarray, y: np.ndarray):
+        raise NotImplementedError
+
+    def _split_sorted(self, xs: np.ndarray, ys: np.ndarray):
         raise NotImplementedError
 
     def _is_pure(self, y: np.ndarray) -> bool:
@@ -137,19 +167,38 @@ class _BaseTree(BaseEstimator):
         self.feature_importances_ = np.zeros(self.n_features_)
         self.split_counts_ = np.zeros(self.n_features_, dtype=np.int64)
         self._rng = np.random.default_rng(self.seed)
-        self.root_ = self._build(X, y, depth=0)
+        n = X.shape[0]
+        idx = np.arange(n)
+        if self.presort:
+            # One stable argsort per feature for the whole fit; nodes
+            # below only partition these index lists, never re-sort.
+            sorted_idx = np.ascontiguousarray(np.argsort(X, axis=0, kind="stable").T)
+            self._left_buf = np.empty(n, dtype=bool)
+        else:
+            sorted_idx = None
+        self.root_ = self._build(X, y, idx, sorted_idx, depth=0)
+        if self.presort:
+            del self._left_buf
         total = self.feature_importances_.sum()
         if total > 0:
             self.feature_importances_ /= total
 
-    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        n = y.shape[0]
-        node = _Node(value=self._leaf_value(y), n_samples=n)
+    def _build(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        sorted_idx: Optional[np.ndarray],
+        depth: int,
+    ) -> _Node:
+        n = idx.size
+        node_y = y[idx]
+        node = _Node(value=self._leaf_value(node_y), n_samples=n)
         if (
             depth >= self.max_depth
             or n < self.min_samples_split
             or n < 2 * self.min_samples_leaf
-            or self._is_pure(y)
+            or self._is_pure(node_y)
         ):
             return node
 
@@ -159,20 +208,40 @@ class _BaseTree(BaseEstimator):
                 self.n_features_, size=self.max_features, replace=False
             )
         best_gain, best_feat, best_thr = 0.0, -1, 0.0
-        for f in features:
-            thr, gain = self._split(X[:, f], y)
-            if thr is not None and gain > best_gain:
-                best_gain, best_feat, best_thr = gain, int(f), thr
+        if sorted_idx is None:
+            node_X = X[idx]
+            for f in features:
+                thr, gain = self._split(node_X[:, f], node_y)
+                if thr is not None and gain > best_gain:
+                    best_gain, best_feat, best_thr = gain, int(f), thr
+        else:
+            for f in features:
+                sf = sorted_idx[f]
+                thr, gain = self._split_sorted(X[sf, f], y[sf])
+                if thr is not None and gain > best_gain:
+                    best_gain, best_feat, best_thr = gain, int(f), thr
         if best_feat < 0:
             return node
 
-        mask = X[:, best_feat] <= best_thr
+        left = X[idx, best_feat] <= best_thr
         node.feature = best_feat
         node.threshold = best_thr
         self.feature_importances_[best_feat] += best_gain * n
         self.split_counts_[best_feat] += 1
-        node.left = self._build(X[mask], y[mask], depth + 1)
-        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        idx_l, idx_r = idx[left], idx[~left]
+        if sorted_idx is None:
+            sl = sr = None
+        else:
+            # Stable partition of every feature's sorted index list: mark
+            # the node's left samples in a shared boolean scratch, then
+            # filter each sorted list — order (hence tie order) survives.
+            buf = self._left_buf
+            buf[idx] = left
+            take = buf[sorted_idx]
+            sl = sorted_idx[take].reshape(self.n_features_, idx_l.size)
+            sr = sorted_idx[~take].reshape(self.n_features_, idx_r.size)
+        node.left = self._build(X, y, idx_l, sl, depth + 1)
+        node.right = self._build(X, y, idx_r, sr, depth + 1)
         return node
 
     # prediction --------------------------------------------------------------
@@ -233,6 +302,9 @@ class DecisionTreeClassifier(_BaseTree):
     def _split(self, Xf: np.ndarray, y: np.ndarray):
         return _best_split_gini(Xf, y, self.n_classes_, self.min_samples_leaf)
 
+    def _split_sorted(self, xs: np.ndarray, ys: np.ndarray):
+        return _best_split_gini_sorted(xs, ys, self.n_classes_, self.min_samples_leaf)
+
     def _is_pure(self, y: np.ndarray) -> bool:
         return np.all(y == y[0])
 
@@ -258,6 +330,9 @@ class DecisionTreeRegressor(_BaseTree):
 
     def _split(self, Xf: np.ndarray, y: np.ndarray):
         return _best_split_mse(Xf, y, self.min_samples_leaf)
+
+    def _split_sorted(self, xs: np.ndarray, ys: np.ndarray):
+        return _best_split_mse_sorted(xs, ys, self.min_samples_leaf)
 
     def _is_pure(self, y: np.ndarray) -> bool:
         return np.all(y == y[0])

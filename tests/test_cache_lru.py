@@ -1,0 +1,97 @@
+"""LRU cache + the executor's bounded analysis/format caches."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.gpu import KEPLER_K40C, SpMVExecutor
+from repro.gpu.cache import LRUCache
+from repro.matrices import random_uniform
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("missing") is None
+        assert "a" in c and len(c) == 1
+
+    def test_evicts_least_recently_used(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")          # refresh "a"; "b" is now the LRU entry
+        c.put("c", 3)
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_setdefault_keeps_first_value(self):
+        c = LRUCache(4)
+        first = object()
+        assert c.setdefault("k", first) is first
+        assert c.setdefault("k", object()) is first
+
+    def test_unbounded_when_maxsize_none(self):
+        c = LRUCache(None)
+        for i in range(1000):
+            c.put(i, i)
+        assert len(c) == 1000
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_clear(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.clear()
+        assert len(c) == 0 and "a" not in c
+
+
+class TestExecutorAnalysisCache:
+    def test_cache_is_bounded(self):
+        ex = SpMVExecutor(KEPLER_K40C, profile_cache_maxsize=2)
+        for seed in range(4):
+            ex.analyze(random_uniform(20, 20, nnz=60, seed=seed))
+        assert len(ex._analysis_cache) == 2
+
+    def test_repeat_profile_is_same_object(self, small_coo):
+        ex = SpMVExecutor(KEPLER_K40C)
+        assert ex.profile(small_coo) is ex.profile(small_coo)
+
+
+class TestExecutorFormatCache:
+    def test_repeat_run_skips_conversion(self, small_coo, monkeypatch):
+        import repro.gpu.executor as executor_mod
+
+        calls = []
+        real = executor_mod.as_format
+
+        def counting(coo, fmt):
+            calls.append(fmt)
+            return real(coo, fmt)
+
+        monkeypatch.setattr(executor_mod, "as_format", counting)
+        ex = SpMVExecutor(KEPLER_K40C)
+        y1, _ = ex.run(small_coo, "csr")
+        y2, _ = ex.run(small_coo, "csr")
+        assert calls == ["csr"]          # second run served from cache
+        assert np.array_equal(y1, y2)
+
+    def test_same_structure_different_values_not_conflated(self):
+        """The digest covers structure only; values must still be honest."""
+        dense = np.zeros((6, 6))
+        dense[np.arange(6), np.arange(6)] = 1.0
+        m1 = COOMatrix.from_dense(dense)
+        m2 = COOMatrix.from_dense(dense * 3.0)
+        ex = SpMVExecutor(KEPLER_K40C)
+        y1, _ = ex.run(m1, "csr")
+        y2, _ = ex.run(m2, "csr")
+        assert np.allclose(y1, np.ones(6))
+        assert np.allclose(y2, 3.0 * np.ones(6))
+
+    def test_cache_is_bounded(self, small_coo):
+        ex = SpMVExecutor(KEPLER_K40C, format_cache_maxsize=1)
+        ex.run(small_coo, "csr")
+        ex.run(small_coo, "coo")
+        assert len(ex._format_cache) == 1

@@ -1,0 +1,98 @@
+"""Presorted-feature training must be bit-identical to per-node sorting.
+
+``presort=True`` (one stable argsort per feature at the root, stable
+partition down the tree) and ``presort=False`` (the historical stable
+argsort at every node) see the same value/target sequences at every
+node, so splits, thresholds, importances and predictions must match
+exactly — ``np.array_equal``, not ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(250, 9))
+    X[:, 3] = np.round(X[:, 3])          # heavy ties: stresses stable order
+    X[:, 6] = (X[:, 6] > 0).astype(float)  # binary feature: even heavier ties
+    y_clf = rng.integers(0, 4, size=250)
+    y_reg = X[:, 0] * 2 + np.sin(X[:, 1]) + rng.normal(scale=0.1, size=250)
+    return X, y_clf, y_reg
+
+
+@pytest.mark.parametrize("max_depth", [2, 16])
+@pytest.mark.parametrize("max_features", [None, 3])
+def test_tree_classifier_identical(data, max_depth, max_features):
+    X, y, _ = data
+    kw = dict(max_depth=max_depth, max_features=max_features, seed=7)
+    a = DecisionTreeClassifier(presort=True, **kw).fit(X, y)
+    b = DecisionTreeClassifier(presort=False, **kw).fit(X, y)
+    assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+    assert np.array_equal(a.feature_importances_, b.feature_importances_)
+    assert np.array_equal(a.split_counts_, b.split_counts_)
+    assert a.depth_ == b.depth_
+
+
+@pytest.mark.parametrize("min_samples_leaf", [1, 5])
+def test_tree_regressor_identical(data, min_samples_leaf):
+    X, _, y = data
+    kw = dict(max_depth=16, min_samples_leaf=min_samples_leaf, seed=7)
+    a = DecisionTreeRegressor(presort=True, **kw).fit(X, y)
+    b = DecisionTreeRegressor(presort=False, **kw).fit(X, y)
+    assert np.array_equal(a.predict(X), b.predict(X))
+    assert np.array_equal(a.feature_importances_, b.feature_importances_)
+
+
+@pytest.mark.parametrize("subsample", [1.0, 0.6])
+def test_boosting_classifier_identical(data, subsample):
+    X, y, _ = data
+    kw = dict(n_estimators=10, max_depth=4, subsample=subsample, seed=3)
+    a = GradientBoostingClassifier(presort=True, **kw).fit(X, y)
+    b = GradientBoostingClassifier(presort=False, **kw).fit(X, y)
+    assert np.array_equal(a.decision_function(X), b.decision_function(X))
+    assert np.array_equal(a.predict(X), b.predict(X))
+    assert np.array_equal(a.f_scores_, b.f_scores_)
+    assert np.array_equal(a.feature_importances_, b.feature_importances_)
+
+
+@pytest.mark.parametrize("subsample", [1.0, 0.6])
+def test_boosting_regressor_identical(data, subsample):
+    X, _, y = data
+    kw = dict(n_estimators=10, max_depth=4, subsample=subsample, seed=3)
+    a = GradientBoostingRegressor(presort=True, **kw).fit(X, y)
+    b = GradientBoostingRegressor(presort=False, **kw).fit(X, y)
+    assert np.array_equal(a.predict(X), b.predict(X))
+    assert np.array_equal(a.feature_importances_, b.feature_importances_)
+
+
+def test_presort_is_a_params_knob(data):
+    """presort participates in get_params, so clones inherit it."""
+    X, y, _ = data
+    model = DecisionTreeClassifier(presort=False)
+    params = model.get_params()
+    assert params["presort"] is False
+    clone = DecisionTreeClassifier(**params)
+    assert clone.get_params()["presort"] is False
+    booster = GradientBoostingClassifier(n_estimators=2, presort=False)
+    assert booster.get_params()["presort"] is False
+
+
+def test_fitted_trees_are_picklable(data):
+    import pickle
+
+    X, y, _ = data
+    model = GradientBoostingClassifier(n_estimators=3, max_depth=3).fit(X, y)
+    clone = pickle.loads(pickle.dumps(model))
+    assert np.array_equal(clone.predict(X), model.predict(X))
+    tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    clone = pickle.loads(pickle.dumps(tree))
+    assert np.array_equal(clone.predict(X), tree.predict(X))

@@ -1,0 +1,26 @@
+"""Smoke test of the tracked perf harness (``repro-spmv perf --quick``)."""
+
+import json
+
+from repro.bench.perf import SCHEMA
+from repro.cli import main
+
+
+def test_quick_run_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main(["perf", "--quick", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == SCHEMA
+    assert report["quick"] is True
+    sections = report["sections"]
+    for name in ("analysis_per_matrix", "label_per_matrix",
+                 "tree_fit", "boosting_fit", "campaign_e2e"):
+        assert name in sections, name
+    for name in ("analysis_per_matrix", "label_per_matrix",
+                 "tree_fit", "boosting_fit"):
+        assert sections[name]["speedup"] > 0
+    assert sections["campaign_e2e"]["wall_s"] > 0
+    assert sections["campaign_e2e"]["n_ok"] > 0
+    text = capsys.readouterr().out
+    assert "boosting_fit" in text and str(out) in text
