@@ -15,6 +15,10 @@ leave a tracked trail:
   per-node sorting implementation) vs ``presort=True`` (root presort +
   stable partition; see :mod:`repro.ml.tree`) on the repo's labeled
   dataset at the configured scale.
+* **serving** — model-registry save/load and end-to-end decision
+  latency of :mod:`repro.serve`, both through the in-process
+  :class:`~repro.serve.service.SelectionService` API and through the
+  JSON-lines daemon path the ``repro-spmv serve --daemon`` CLI runs.
 * **campaign end-to-end** — wall time of a tiny measurement campaign,
   the integration number everything above feeds.
 
@@ -172,6 +176,68 @@ def _bench_boosting_fit(
     }
 
 
+def _bench_serving(ds, matrices: Sequence, quick: bool) -> Dict:
+    """Registry save/load plus end-to-end serving latency.
+
+    Trains a small selector, round-trips it through a throwaway
+    registry, then serves requests two ways: the in-process
+    :class:`~repro.serve.service.SelectionService` API (cold = feature
+    extraction + model, warm = decision-cache hit) and the JSON-lines
+    daemon path the ``repro-spmv serve --daemon`` CLI runs.
+    """
+    import io
+    import tempfile
+
+    from ..core.selector import FormatSelector
+    from ..features import extract_features
+    from ..serve import ModelRegistry, SelectionService, serve_jsonl
+
+    selector = FormatSelector("decision_tree", feature_set="set123").fit(ds)
+    n_requests = 20 if quick else 100
+    requests = [matrices[i % len(matrices)] for i in range(n_requests)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        start = time.perf_counter()
+        registry.save(selector, "bench", dataset=ds, promote=True)
+        save_s = time.perf_counter() - start
+        start = time.perf_counter()
+        model, _ = registry.load("bench")
+        load_s = time.perf_counter() - start
+
+        service = SelectionService(model)
+        start = time.perf_counter()
+        for m in requests:
+            service.predict(m)
+        direct_wall = time.perf_counter() - start
+        snap = service.telemetry.snapshot()
+
+        # The CLI daemon path: one JSON-lines predict request per matrix.
+        daemon_service = SelectionService(model)
+        lines = [
+            json.dumps({"op": "predict", "features": extract_features(m)})
+            for m in requests
+        ]
+        sink = io.StringIO()
+        start = time.perf_counter()
+        served = serve_jsonl(daemon_service, lines, sink)
+        daemon_wall = time.perf_counter() - start
+
+    return {
+        "n_requests": n_requests,
+        "registry_save_ms": 1e3 * save_s,
+        "registry_load_ms": 1e3 * load_s,
+        "direct_ms_per_request": 1e3 * direct_wall / n_requests,
+        "latency_ms_p50": snap["latency_ms"]["p50"],
+        "latency_ms_p95": snap["latency_ms"]["p95"],
+        "feature_cache_hit_rate": snap["feature_cache"]["hit_rate"],
+        "decision_cache_hit_rate": snap["decision_cache"]["hit_rate"],
+        "daemon_requests_served": served,
+        "daemon_ms_per_request": 1e3 * daemon_wall / n_requests,
+        "wall_s": direct_wall + daemon_wall,
+    }
+
+
 def _bench_campaign(scale: float, max_nnz: int, device) -> Dict:
     """Wall time of one tiny end-to-end measurement campaign."""
     from .campaign import run_campaign
@@ -238,6 +304,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
     sections["boosting_fit"] = _bench_boosting_fit(
         X, y, n_estimators=8 if quick else 40, repeats=repeats
     )
+    sections["serving"] = _bench_serving(ds, matrices, quick)
     sections["campaign_e2e"] = _bench_campaign(
         0.005 if quick else 0.02, max_nnz, device
     )

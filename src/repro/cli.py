@@ -15,8 +15,13 @@ Subcommands cover the full workflow a downstream user needs:
   files.
 * ``table``    — regenerate one of the paper's tables/figures at the
   configured scale.
+* ``registry`` — train models into the versioned, checksummed model
+  registry (``save`` / ``list`` / ``promote``).
+* ``serve``    — load registry models and serve format decisions:
+  one-shot over ``.mtx`` files or a JSON-lines stdin/stdout daemon.
 * ``perf``     — run the tracked performance benchmarks (one-pass
-  analysis, presorted tree/boosting fits) and write ``BENCH_<date>.json``.
+  analysis, presorted tree/boosting fits, serving latency) and write
+  ``BENCH_<date>.json``.
 
 Every command is importable (``from repro.cli import main``) and returns
 a process exit code, so the test suite drives it in-process.
@@ -25,6 +30,8 @@ a process exit code, so the test suite drives it in-process.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import pickle
 import sys
 from pathlib import Path
@@ -108,6 +115,66 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table", help="regenerate a paper table/figure")
     p.add_argument("name", choices=("table1", "fig3", "table5", "table8",
                                     "table10", "fig6", "table14", "importance"))
+
+    p = sub.add_parser(
+        "registry",
+        help="manage the versioned model registry",
+        description="Save trained selection models as versioned, "
+        "checksummed pure-numpy artifacts; list versions; promote one "
+        "to production.",
+    )
+    rsub = p.add_subparsers(dest="registry_command", required=True)
+
+    rp = rsub.add_parser("save", help="train a model and save it as a new version")
+    rp.add_argument("--registry", type=Path, required=True, help="registry root dir")
+    rp.add_argument("--name", required=True, help="model name in the registry")
+    rp.add_argument("--dataset", type=Path, required=True, help=".npz from 'label'")
+    rp.add_argument("--kind", default="selector", choices=("selector", "predictor"))
+    rp.add_argument("--model", default="xgboost",
+                    choices=("decision_tree", "svm", "svr", "mlp",
+                             "mlp_ensemble", "xgboost"))
+    rp.add_argument("--feature-set", default="set12",
+                    choices=("set1", "set12", "set123", "imp"))
+    rp.add_argument("--mode", default="joint", choices=("joint", "per_format"),
+                    help="predictor mode (ignored for selectors)")
+    rp.add_argument("--keep-coo-best", action="store_true",
+                    help="skip the paper's Sec. V-A COO-exclusion rule")
+    rp.add_argument("--promote", action="store_true",
+                    help="mark the new version as production")
+
+    rp = rsub.add_parser("list", help="list registered model versions")
+    rp.add_argument("--registry", type=Path, required=True)
+    rp.add_argument("--name", default=None, help="restrict to one model name")
+
+    rp = rsub.add_parser("promote", help="promote a version to production")
+    rp.add_argument("--registry", type=Path, required=True)
+    rp.add_argument("--name", required=True)
+    rp.add_argument("--version", required=True)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve format decisions from registry models",
+        description="Load models from the registry and serve format "
+        "decisions: one-shot over .mtx files, or a JSON-lines "
+        "request/response daemon on stdin/stdout (ops: predict, "
+        "feedback, stats, shutdown).",
+    )
+    p.add_argument("--registry", type=Path, required=True, help="registry root dir")
+    p.add_argument("--selector", default=None, help="selector name in the registry")
+    p.add_argument("--predictor", default=None, help="predictor name in the registry")
+    p.add_argument("--selector-version", default=None,
+                   help="version id, 'latest' or 'production' (default: "
+                   "production, falling back to latest)")
+    p.add_argument("--predictor-version", default=None)
+    p.add_argument("--mode", default=None, choices=("direct", "indirect", "hybrid"),
+                   help="selection strategy (default: what the models allow)")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="hybrid-mode slack on the predicted best time")
+    p.add_argument("--daemon", action="store_true",
+                   help="serve JSON-lines requests from stdin")
+    p.add_argument("--stats", action="store_true",
+                   help="print the telemetry snapshot when done")
+    p.add_argument("files", nargs="*", type=Path, help=".mtx files (one-shot mode)")
 
     p = sub.add_parser(
         "perf",
@@ -336,6 +403,105 @@ def _cmd_table(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    from .serve import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.registry_command == "save":
+            from .core import SpMVDataset
+
+            ds = SpMVDataset.load(args.dataset)
+            if not args.keep_coo_best:
+                ds = ds.drop_coo_best()
+            if args.kind == "selector":
+                from .core import FormatSelector
+
+                model = FormatSelector(args.model, feature_set=args.feature_set)
+                model.fit(ds)
+                quality = f"training accuracy {model.score(ds):.1%}"
+            else:
+                from .core.predictor import PerformancePredictor
+
+                model = PerformancePredictor(
+                    args.model, feature_set=args.feature_set, mode=args.mode
+                )
+                model.fit(ds)
+                quality = f"training RME {model.rme(ds):.3f}"
+            record = registry.save(
+                model, args.name, dataset=ds, promote=args.promote
+            )
+            tag = " [production]" if args.promote else ""
+            print(f"trained {args.kind} '{args.model}' on {len(ds)} matrices "
+                  f"({quality})")
+            print(f"saved {record.name}:{record.version}{tag} under {args.registry}")
+        elif args.registry_command == "list":
+            records = registry.list(args.name)
+            if not records:
+                print("(registry is empty)")
+                return 0
+            for record in records:
+                prod = registry.production_version(record.name)
+                mark = " *" if record.version == prod else ""
+                print(record.describe() + mark)
+        else:  # promote
+            record = registry.promote(args.name, args.version)
+            print(f"promoted {record.name}:{record.version} to production")
+    except (RegistryError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import RegistryError, SelectionService, serve_jsonl
+
+    if args.selector is None and args.predictor is None:
+        print("error: need at least one of --selector/--predictor",
+              file=sys.stderr)
+        return 1
+    if not args.daemon and not args.files:
+        print("error: give .mtx files for one-shot mode or --daemon",
+              file=sys.stderr)
+        return 1
+    kwargs = {"tolerance": args.tolerance}
+    if args.mode is not None:
+        kwargs["mode"] = args.mode
+    try:
+        service = SelectionService.from_registry(
+            args.registry,
+            selector=args.selector,
+            predictor=args.predictor,
+            selector_version=args.selector_version,
+            predictor_version=args.predictor_version,
+            **kwargs,
+        )
+    except (RegistryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.daemon:
+        served = serve_jsonl(service, sys.stdin, sys.stdout)
+        if args.stats:
+            print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+        return 0
+
+    from .matrices import read_matrix_market
+
+    decisions = service.predict_batch(
+        [read_matrix_market(path) for path in args.files]
+    )
+    for path, decision in zip(args.files, decisions):
+        extra = ""
+        if decision.predicted_times is not None:
+            t = decision.predicted_times[decision.chosen]
+            extra = f" (predicted {1e6 * t:.1f} us)"
+        print(f"{path.name}: {decision.chosen}{extra}")
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2))
+    return 0
+
+
 def _cmd_perf(args) -> int:
     from .bench.perf import main as perf_main
 
@@ -355,6 +521,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "table": _cmd_table,
+    "registry": _cmd_registry,
+    "serve": _cmd_serve,
     "perf": _cmd_perf,
 }
 
@@ -362,7 +530,17 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro-spmv serve ... | head`).
+        # Detach stdout so the interpreter's shutdown flush doesn't raise.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        sys.stdout = open(os.devnull, "w")
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

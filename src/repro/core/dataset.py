@@ -137,6 +137,22 @@ class SpMVDataset:
 
     # -- persistence ---------------------------------------------------------
 
+    def digest(self) -> str:
+        """Content digest (sha256 hex) of the full labeled dataset.
+
+        Stable across save/load round-trips; the model registry records
+        it so every artifact names the exact training data it saw.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update("\x1f".join(self.names).encode())
+        h.update(np.ascontiguousarray(self.feature_array, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(self.times, dtype=np.float64).tobytes())
+        h.update(",".join(self.formats).encode())
+        h.update(f"|{self.device}|{self.precision}|{self.reps}".encode())
+        return h.hexdigest()
+
     def save(self, path: Union[str, Path]) -> None:
         """Serialise to ``.npz``."""
         np.savez_compressed(

@@ -32,6 +32,7 @@ from ..ml import (
     relative_mean_error,
 )
 from .dataset import SpMVDataset
+from .selector import _as_batch
 
 __all__ = ["PerformancePredictor", "REGRESSOR_REGISTRY"]
 
@@ -174,8 +175,11 @@ class PerformancePredictor:
     # -- prediction -----------------------------------------------------------------
 
     def predict_times(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
-        """Predicted execution seconds, shape ``(n_samples, n_formats)``."""
-        X = data.X(self.feature_set) if isinstance(data, SpMVDataset) else np.asarray(data)
+        """Predicted execution seconds, shape ``(n_samples, n_formats)``.
+
+        A single 1-D feature vector is treated as a one-row batch.
+        """
+        X = data.X(self.feature_set) if isinstance(data, SpMVDataset) else _as_batch(data)
         n = X.shape[0]
         K = len(self.formats_)
         out = np.empty((n, K))
@@ -208,3 +212,47 @@ class PerformancePredictor:
             fmt: relative_mean_error(meas[:, k], pred[:, k])
             for k, fmt in enumerate(self.formats_)
         }
+
+    # -- persistence (model-registry support) ------------------------------
+
+    def get_state(self) -> dict:
+        """Fitted state for the :mod:`repro.serve` registry codec."""
+        state = {
+            "model_name": self.model_name,
+            "feature_set": self.feature_set,
+            "mode": self.mode,
+            "formats": list(self.formats_),
+        }
+        if self.mode == "joint":
+            state["model"] = self.model_
+        else:
+            state["models"] = dict(self.models_)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PerformancePredictor":
+        """Rebuild a fitted predictor from :meth:`get_state` output."""
+        fs = state["feature_set"]
+        feature_set = fs if isinstance(fs, str) else tuple(fs)
+        if state["model_name"] in REGRESSOR_REGISTRY:
+            pred = cls(state["model_name"], feature_set=feature_set,
+                       mode=state["mode"])
+        else:
+            pred = cls.__new__(cls)
+            pred.model_name = state["model_name"]
+            pred.feature_set = feature_set
+            pred.mode = state["mode"]
+            # Custom estimator instances lose their factory across the
+            # artifact boundary; a re-fit needs a fresh predictor.
+            def _no_factory():
+                raise RuntimeError(
+                    "predictor was restored from an artifact with a custom "
+                    "estimator; construct a new PerformancePredictor to re-fit"
+                )
+            pred._factory = _no_factory
+        pred.formats_ = tuple(state["formats"])
+        if state["mode"] == "joint":
+            pred.model_ = state["model"]
+        else:
+            pred.models_ = dict(state["models"])
+        return pred

@@ -39,6 +39,19 @@ from .dataset import SpMVDataset
 __all__ = ["FormatSelector", "MODEL_REGISTRY", "PAPER_GRIDS", "tuned_selector"]
 
 
+def _as_batch(X) -> np.ndarray:
+    """Coerce prediction input to ``(n_samples, n_features)``.
+
+    A single 1-D feature vector — the natural shape of one serving
+    request — is auto-reshaped to a one-row batch instead of failing
+    the 2-D check downstream.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X[None, :]
+    return X
+
+
 def _scaled(estimator: BaseEstimator) -> Pipeline:
     """Wrap a scale-sensitive model in log1p + standardisation."""
     return Pipeline(
@@ -188,8 +201,8 @@ class FormatSelector:
     # -- prediction ---------------------------------------------------------
 
     def predict(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
-        """Predict best-format *indices*."""
-        X = data.X(self.feature_set) if isinstance(data, SpMVDataset) else np.asarray(data)
+        """Predict best-format *indices* (accepts a single 1-D vector)."""
+        X = data.X(self.feature_set) if isinstance(data, SpMVDataset) else _as_batch(data)
         return self.estimator.predict(X)
 
     def predict_formats(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
@@ -205,6 +218,29 @@ class FormatSelector:
         if y is None:
             raise ValueError("y is required when scoring on a raw array")
         return accuracy_score(np.asarray(y), self.predict(data))
+
+    # -- persistence (model-registry support) -----------------------------
+
+    def get_state(self) -> dict:
+        """Fitted state for the :mod:`repro.serve` registry codec."""
+        return {
+            "model_name": self.model_name,
+            "feature_set": self.feature_set,
+            "formats": None if getattr(self, "formats_", None) is None
+            else list(self.formats_),
+            "estimator": self.estimator,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FormatSelector":
+        """Rebuild a fitted selector from :meth:`get_state` output."""
+        sel = cls.__new__(cls)
+        sel.model_name = state["model_name"]
+        fs = state["feature_set"]
+        sel.feature_set = fs if isinstance(fs, str) else tuple(fs)
+        sel.formats_ = None if state["formats"] is None else tuple(state["formats"])
+        sel.estimator = state["estimator"]
+        return sel
 
 
 def tuned_selector(

@@ -46,6 +46,14 @@ from .model_selection import (  # noqa: F401
     train_test_split,
 )
 from .preprocessing import LabelEncoder, Log1pTransformer, Pipeline, StandardScaler  # noqa: F401
+from .serialize import (  # noqa: F401
+    STATE_SCHEMA,
+    SerializationError,
+    decode_estimator,
+    encode_estimator,
+    load_estimator,
+    save_estimator,
+)
 from .svm import SVC, SVR, linear_kernel, rbf_kernel  # noqa: F401
 from .tree import DecisionTreeClassifier, DecisionTreeRegressor  # noqa: F401
 
@@ -88,4 +96,10 @@ __all__ = [
     "slowdown_factors",
     "slowdown_histogram",
     "SLOWDOWN_THRESHOLDS",
+    "STATE_SCHEMA",
+    "SerializationError",
+    "encode_estimator",
+    "decode_estimator",
+    "save_estimator",
+    "load_estimator",
 ]

@@ -50,6 +50,11 @@ def check_X_y(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 class BaseEstimator:
     """Minimal estimator protocol: introspectable hyper-parameters."""
 
+    #: Non-``trailing_underscore_`` instance attributes that carry fitted
+    #: state and must survive :meth:`get_state` round-trips (e.g. the
+    #: private target-scaling moments of the MLP regressor).
+    _extra_state_attrs: Tuple[str, ...] = ()
+
     @classmethod
     def _param_names(cls) -> Tuple[str, ...]:
         sig = inspect.signature(cls.__init__)
@@ -74,6 +79,37 @@ class BaseEstimator:
                 )
             setattr(self, name, value)
         return self
+
+    # -- fitted-state protocol (serving/model-registry support) -----------
+
+    def get_state(self) -> Dict[str, Any]:
+        """Fitted state as a plain dict (hyper-parameters excluded).
+
+        Captures every instance attribute following the scikit-learn
+        trailing-underscore convention (``weights_``, ``root_``, …) plus
+        any class-declared :attr:`_extra_state_attrs`.  Values are
+        returned by reference — the pure-numpy on-disk encoding lives in
+        :mod:`repro.ml.serialize`.
+        """
+        state: Dict[str, Any] = {
+            name: value
+            for name, value in self.__dict__.items()
+            if name.endswith("_") and not name.startswith("_")
+        }
+        for name in self._extra_state_attrs:
+            if name in self.__dict__:
+                state[name] = self.__dict__[name]
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> "BaseEstimator":
+        """Restore fitted state captured by :meth:`get_state`."""
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._post_restore()
+        return self
+
+    def _post_restore(self) -> None:
+        """Hook for rebuilding derived attributes after :meth:`set_state`."""
 
     def _require_fitted(self, *attrs: str) -> None:
         for attr in attrs:

@@ -81,6 +81,8 @@ class SimpleCNNClassifier(BaseEstimator):
         The usual Adam/SGD knobs.
     """
 
+    _extra_state_attrs = ("_flat",)
+
     def __init__(
         self,
         filters: Tuple[int, int] = (8, 16),

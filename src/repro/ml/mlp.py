@@ -184,6 +184,8 @@ class MLPClassifier(_BaseMLP):
 class MLPRegressor(_BaseMLP):
     """Linear-output MLP regressor (MSE loss)."""
 
+    _extra_state_attrs = ("_y_mean", "_y_std")
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
         X, y = check_X_y(X, y)
         self._y_mean = float(np.mean(y))

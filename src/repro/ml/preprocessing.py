@@ -86,6 +86,12 @@ class Log1pTransformer(BaseEstimator):
 class LabelEncoder(BaseEstimator):
     """Map arbitrary hashable labels to contiguous integers 0..K-1."""
 
+    def _post_restore(self) -> None:
+        # The label→index dict is derived from classes_; rebuild it
+        # rather than persisting a non-array mapping.
+        if hasattr(self, "classes_"):
+            self._index = {c: i for i, c in enumerate(self.classes_)}
+
     def fit(self, y: Sequence) -> "LabelEncoder":
         self.classes_ = np.array(sorted(set(y)))
         self._index = {c: i for i, c in enumerate(self.classes_)}

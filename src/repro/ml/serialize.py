@@ -1,0 +1,360 @@
+"""Pure-numpy estimator serialization (the model-registry artifact codec).
+
+Every estimator in the stack persists through three layers:
+
+1. ``BaseEstimator.get_state()`` / ``set_state()`` capture the fitted
+   attributes of one estimator instance (see :mod:`repro.ml.base`);
+2. :func:`encode` / :func:`decode` turn an arbitrary object graph —
+   scalars, numpy arrays, tuples, dicts, nested estimators (pipelines,
+   MLP ensembles, forests) and the CART/boosting node structures — into
+   a JSON-safe structure plus a flat dict of numpy arrays;
+3. :func:`save_estimator` / :func:`load_estimator` write that pair to a
+   single ``.npz`` (``allow_pickle=False`` end to end — artifacts
+   contain no executable payload, unlike pickles).
+
+Round-trips are **bit-identical**: array payloads go through ``.npz``
+verbatim, scalar floats go through ``repr``-exact JSON, and tree
+structures are rebuilt node-for-node (asserted by
+``tests/test_ml_serialize.py`` and the registry round-trip tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SerializationError",
+    "STATE_SCHEMA",
+    "encode",
+    "decode",
+    "encode_estimator",
+    "decode_estimator",
+    "save_estimator",
+    "load_estimator",
+]
+
+#: Schema tag written into every artifact; bumped on layout changes.
+STATE_SCHEMA = "repro-ml-state/v1"
+
+
+class SerializationError(RuntimeError):
+    """Raised on un-encodable objects or corrupt/unknown artifacts."""
+
+
+# ---------------------------------------------------------------------------
+# Class registry
+# ---------------------------------------------------------------------------
+
+
+def _estimator_classes() -> Dict[str, type]:
+    """Name → class map of every serializable estimator (lazy import)."""
+    from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+    from .cnn import SimpleCNNClassifier
+    from .forest import RandomForestClassifier, RandomForestRegressor
+    from .mlp import (
+        MLPClassifier,
+        MLPEnsembleClassifier,
+        MLPEnsembleRegressor,
+        MLPRegressor,
+    )
+    from .preprocessing import LabelEncoder, Log1pTransformer, Pipeline, StandardScaler
+    from .svm import SVC, SVR
+    from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+    classes = (
+        DecisionTreeClassifier,
+        DecisionTreeRegressor,
+        GradientBoostingClassifier,
+        GradientBoostingRegressor,
+        RandomForestClassifier,
+        RandomForestRegressor,
+        MLPClassifier,
+        MLPRegressor,
+        MLPEnsembleClassifier,
+        MLPEnsembleRegressor,
+        SVC,
+        SVR,
+        SimpleCNNClassifier,
+        StandardScaler,
+        Log1pTransformer,
+        LabelEncoder,
+        Pipeline,
+    )
+    return {cls.__name__: cls for cls in classes}
+
+
+# ---------------------------------------------------------------------------
+# Tree-structure flattening
+# ---------------------------------------------------------------------------
+# CART nodes pack into two arrays (preorder):
+#   meta   (n, 5)  = [feature, threshold, left, right, n_samples]
+#   values (n, d)  = leaf/internal value vectors
+# Boosting nodes pack into one (n, 5) array:
+#   [feature, threshold, weight, left, right]
+# Child indices are preorder positions; -1 marks a leaf.  Integers below
+# 2**53 and float64 payloads survive the float64 packing exactly.
+
+
+def _flatten_cart(root) -> Tuple[np.ndarray, np.ndarray]:
+    meta: List[List[float]] = []
+    values: List[np.ndarray] = []
+
+    def visit(node) -> int:
+        i = len(meta)
+        meta.append([float(node.feature), float(node.threshold), -1.0, -1.0,
+                     float(node.n_samples)])
+        values.append(np.asarray(node.value, dtype=np.float64))
+        if not node.is_leaf:
+            meta[i][2] = float(visit(node.left))
+            meta[i][3] = float(visit(node.right))
+        return i
+
+    visit(root)
+    return np.array(meta, dtype=np.float64), np.vstack(values)
+
+
+def _rebuild_cart(meta: np.ndarray, values: np.ndarray):
+    from .tree import _Node
+
+    def build(i: int):
+        feature, threshold, left, right, n_samples = meta[i]
+        node = _Node(
+            feature=int(feature),
+            threshold=float(threshold),
+            value=values[i].copy(),
+            n_samples=int(n_samples),
+        )
+        if node.feature >= 0:
+            node.left = build(int(left))
+            node.right = build(int(right))
+        return node
+
+    return build(0)
+
+
+def _flatten_boost(root) -> np.ndarray:
+    rows: List[List[float]] = []
+
+    def visit(node) -> int:
+        i = len(rows)
+        rows.append([float(node.feature), float(node.threshold),
+                     float(node.weight), -1.0, -1.0])
+        if not node.is_leaf:
+            rows[i][3] = float(visit(node.left))
+            rows[i][4] = float(visit(node.right))
+        return i
+
+    visit(root)
+    return np.array(rows, dtype=np.float64)
+
+
+def _rebuild_boost(rows: np.ndarray):
+    from .boosting import _BNode
+
+    def build(i: int):
+        feature, threshold, weight, left, right = rows[i]
+        node = _BNode(feature=int(feature), threshold=float(threshold),
+                      weight=float(weight))
+        if node.feature >= 0:
+            node.left = build(int(left))
+            node.right = build(int(right))
+        return node
+
+    return build(0)
+
+
+# ---------------------------------------------------------------------------
+# Recursive value codec
+# ---------------------------------------------------------------------------
+
+
+class _Encoder:
+    """Walks an object graph, spilling arrays into a flat dict."""
+
+    def __init__(self) -> None:
+        self.arrays: Dict[str, np.ndarray] = {}
+
+    def _array_ref(self, arr: np.ndarray) -> Dict[str, str]:
+        key = f"a{len(self.arrays)}"
+        self.arrays[key] = np.ascontiguousarray(arr)
+        return {"__nd__": key}
+
+    def encode(self, obj: Any) -> Any:
+        from .base import BaseEstimator
+        from .boosting import _BoostTree
+        from .tree import _Node
+
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        if isinstance(obj, (np.bool_,)):
+            return bool(obj)
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return self._array_ref(obj)
+        if isinstance(obj, tuple):
+            return {"__tuple__": [self.encode(v) for v in obj]}
+        if isinstance(obj, list):
+            return [self.encode(v) for v in obj]
+        if isinstance(obj, dict):
+            return {"__map__": [[self.encode(k), self.encode(v)]
+                                for k, v in obj.items()]}
+        if isinstance(obj, BaseEstimator):
+            return self.encode_estimator(obj)
+        if isinstance(obj, _Node):
+            meta, values = _flatten_cart(obj)
+            return {"__cart__": [self._array_ref(meta), self._array_ref(values)]}
+        if isinstance(obj, _BoostTree):
+            return {
+                "__boost_tree__": {
+                    "params": [obj.max_depth, obj.reg_lambda, obj.gamma,
+                               obj.min_child_weight, obj.presort],
+                    "n_features": int(obj.n_features),
+                    "nodes": self._array_ref(_flatten_boost(obj.root)),
+                    "gain": self._array_ref(obj.gain_by_feature),
+                    "splits": self._array_ref(obj.splits_by_feature),
+                }
+            }
+        raise SerializationError(
+            f"cannot serialize object of type {type(obj).__name__}"
+        )
+
+    def encode_estimator(self, est) -> Dict[str, Any]:
+        from .preprocessing import Pipeline
+
+        name = type(est).__name__
+        if name not in _estimator_classes():
+            raise SerializationError(f"unknown estimator class {name!r}")
+        if isinstance(est, Pipeline):
+            # get_params() deliberately clones steps (unfitted); a
+            # pipeline artifact must instead carry its *fitted* steps.
+            return {
+                "__est__": "Pipeline",
+                "steps": [[n, self.encode_estimator(s)] for n, s in est.steps],
+            }
+        return {
+            "__est__": name,
+            "params": self.encode(dict(est.get_params())),
+            "state": self.encode(est.get_state()),
+        }
+
+
+class _Decoder:
+    def __init__(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.arrays = arrays
+
+    def _deref(self, ref: Dict[str, str]) -> np.ndarray:
+        try:
+            return self.arrays[ref["__nd__"]]
+        except KeyError as exc:
+            raise SerializationError(f"missing array payload {exc}") from None
+
+    def decode(self, obj: Any) -> Any:
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        if isinstance(obj, list):
+            return [self.decode(v) for v in obj]
+        if not isinstance(obj, dict):
+            raise SerializationError(f"malformed structure node: {obj!r}")
+        if "__nd__" in obj:
+            return self._deref(obj)
+        if "__tuple__" in obj:
+            return tuple(self.decode(v) for v in obj["__tuple__"])
+        if "__map__" in obj:
+            return {self.decode(k): self.decode(v) for k, v in obj["__map__"]}
+        if "__est__" in obj:
+            return self.decode_estimator(obj)
+        if "__cart__" in obj:
+            meta_ref, values_ref = obj["__cart__"]
+            return _rebuild_cart(self._deref(meta_ref), self._deref(values_ref))
+        if "__boost_tree__" in obj:
+            from .boosting import _BoostTree
+
+            spec = obj["__boost_tree__"]
+            max_depth, reg_lambda, gamma, min_child_weight, presort = spec["params"]
+            tree = _BoostTree(int(max_depth), float(reg_lambda), float(gamma),
+                              float(min_child_weight), presort=bool(presort))
+            tree.n_features = int(spec["n_features"])
+            tree.root = _rebuild_boost(self._deref(spec["nodes"]))
+            tree.gain_by_feature = self._deref(spec["gain"])
+            tree.splits_by_feature = self._deref(spec["splits"])
+            return tree
+        raise SerializationError(f"unrecognised structure tag: {sorted(obj)}")
+
+    def decode_estimator(self, obj: Dict[str, Any]):
+        from .preprocessing import Pipeline
+
+        name = obj["__est__"]
+        classes = _estimator_classes()
+        if name not in classes:
+            raise SerializationError(f"unknown estimator class {name!r}")
+        if name == "Pipeline":
+            return Pipeline([[n, self.decode_estimator(s)]
+                             for n, s in obj["steps"]])
+        cls = classes[name]
+        est = cls(**self.decode(obj["params"]))
+        est.set_state(self.decode(obj["state"]))
+        return est
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def encode(obj: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Encode an object graph → (JSON-safe structure, array payloads)."""
+    enc = _Encoder()
+    structure = enc.encode(obj)
+    return structure, enc.arrays
+
+
+def decode(structure: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`encode`."""
+    return _Decoder(arrays).decode(structure)
+
+
+def encode_estimator(est) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Encode one fitted estimator (convenience wrapper)."""
+    enc = _Encoder()
+    structure = enc.encode_estimator(est)
+    return structure, enc.arrays
+
+
+def decode_estimator(structure: Any, arrays: Dict[str, np.ndarray]):
+    """Inverse of :func:`encode_estimator`."""
+    return _Decoder(arrays).decode_estimator(structure)
+
+
+def save_estimator(est, path) -> None:
+    """Serialise a fitted estimator to one ``.npz`` artifact."""
+    structure, arrays = encode_estimator(est)
+    header = json.dumps({"schema": STATE_SCHEMA, "root": structure})
+    np.savez_compressed(path, __state__=np.array(header), **arrays)
+
+
+def load_estimator(path):
+    """Load an estimator saved by :func:`save_estimator`.
+
+    Raises :class:`SerializationError` on schema mismatches or corrupt
+    payloads; never unpickles.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            header = json.loads(str(z["__state__"][()]))
+            arrays = {k: z[k] for k in z.files if k != "__state__"}
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"unreadable artifact {path}: {exc}") from exc
+    if header.get("schema") != STATE_SCHEMA:
+        raise SerializationError(
+            f"unsupported artifact schema {header.get('schema')!r}; "
+            f"expected {STATE_SCHEMA!r}"
+        )
+    return decode_estimator(header["root"], arrays)

@@ -136,6 +136,8 @@ class SVC(BaseEstimator):
         Seed of the random working-set fallback.
     """
 
+    _extra_state_attrs = ("_machines",)
+
     def __init__(
         self,
         C: float = 1.0,

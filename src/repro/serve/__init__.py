@@ -1,0 +1,30 @@
+"""Model registry + online format-selection inference service.
+
+The deployment layer of the reproduction: persist trained selection
+models as versioned, checksummed, pure-numpy artifacts
+(:class:`ModelRegistry`), serve them behind a cached, micro-batched
+request/response API (:class:`SelectionService`), and close the loop
+with observed-execution feedback, regret tracking and latency/cache
+telemetry (:class:`FeedbackLog`, :class:`ServiceTelemetry`,
+:func:`serve_jsonl`).
+"""
+
+from .daemon import handle_request, serve_jsonl
+from .feedback import FeedbackEvent, FeedbackLog
+from .registry import ARTIFACT_SCHEMA, ModelRecord, ModelRegistry, RegistryError
+from .service import Decision, SelectionService
+from .telemetry import ServiceTelemetry
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "Decision",
+    "FeedbackEvent",
+    "FeedbackLog",
+    "ModelRecord",
+    "ModelRegistry",
+    "RegistryError",
+    "SelectionService",
+    "ServiceTelemetry",
+    "handle_request",
+    "serve_jsonl",
+]

@@ -1,0 +1,118 @@
+"""JSON-lines serving protocol (the ``repro-spmv serve`` daemon body).
+
+One request per line, one JSON response per line — trivially driven by
+a pipe, a socket wrapper or a test's ``StringIO``.  Operations:
+
+``{"op": "predict", ...}``
+    One of ``"path"`` (a ``.mtx`` file), ``"features"`` (dict of the 17
+    canonical features) or ``"vector"`` (ordered feature list).  An
+    optional ``"id"`` names the request for later feedback.  Response:
+    ``{"ok": true, "id": ..., "format": ..., "latency_ms": ...}``.
+
+``{"op": "feedback", "id": ..., "times": {fmt: seconds}}``
+    Report observed per-format execution times of a served decision
+    (include ``"chosen"`` for ids outside the recent window).
+
+``{"op": "stats"}``
+    Telemetry snapshot (latency percentiles, throughput, cache hit
+    rates, rolling regret).
+
+``{"op": "shutdown"}``
+    Acknowledge and stop the loop.
+
+Every error is a ``{"ok": false, "error": ...}`` response; malformed
+input never kills the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, Optional
+
+from .service import SelectionService
+
+__all__ = ["handle_request", "serve_jsonl"]
+
+
+def handle_request(service: SelectionService, request: Dict) -> Dict:
+    """Execute one protocol request; always returns a response dict."""
+    try:
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        op = request.get("op", "predict")
+        if op == "predict":
+            return _handle_predict(service, request)
+        if op == "feedback":
+            event = service.record_feedback(
+                str(request["id"]),
+                request["times"],
+                chosen=request.get("chosen"),
+            )
+            return {
+                "ok": True,
+                "id": event.request_id,
+                "regret": event.regret,
+                "optimal": event.optimal,
+            }
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        raise ValueError(f"unknown op {op!r}")
+    except Exception as exc:  # protocol boundary: report, don't crash
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _handle_predict(service: SelectionService, request: Dict) -> Dict:
+    sources = [k for k in ("path", "features", "vector") if k in request]
+    if len(sources) != 1:
+        raise ValueError(
+            "predict needs exactly one of 'path', 'features' or 'vector'"
+        )
+    key = sources[0]
+    if key == "path":
+        from ..matrices import read_matrix_market
+
+        item = read_matrix_market(request["path"])
+    elif key == "features":
+        item = dict(request["features"])
+    else:
+        item = request["vector"]
+    decision = service.predict(item, request_id=request.get("id"))
+    response = decision.to_dict()
+    response["ok"] = True
+    return response
+
+
+def serve_jsonl(
+    service: SelectionService,
+    lines: Iterable[str],
+    out: IO[str],
+    *,
+    max_requests: Optional[int] = None,
+) -> int:
+    """Run the request/response loop; returns the number served.
+
+    ``lines`` is any iterable of JSON-lines input (a file object, a
+    list, ``sys.stdin``); blank lines are skipped, a ``shutdown``
+    request (or ``max_requests``) ends the loop.
+    """
+    served = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            response = {"ok": False, "error": f"invalid JSON: {exc}"}
+        else:
+            response = handle_request(service, request)
+        out.write(json.dumps(response) + "\n")
+        out.flush()
+        served += 1
+        if response.get("shutdown"):
+            break
+        if max_requests is not None and served >= max_requests:
+            break
+    return served

@@ -1,0 +1,112 @@
+"""Online feedback: observed execution times of served decisions.
+
+The paper's pipeline is offline — train once, evaluate once.  A served
+selector instead sees its decisions *executed*: after running SpMV with
+the recommended format, a client can report the observed (here:
+simulated) execution times back.  :class:`FeedbackLog` turns those
+observations into the online quality signals the paper's metrics imply:
+
+* **regret** per decision — ``t_chosen / t_best_observed − 1`` (the
+  slowdown metric of Sec. V-C applied to live traffic),
+* the empirical best-format distribution of the served workload (drift
+  in this distribution versus the training labels is the classic
+  retraining trigger),
+* a bounded event history for inspection and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Mapping, Optional
+
+__all__ = ["FeedbackEvent", "FeedbackLog"]
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One observed outcome of a served decision."""
+
+    request_id: str
+    chosen: str                  #: format the service recommended
+    observed: Dict[str, float]   #: format → observed execution seconds
+    regret: float                #: t_chosen / min(observed) − 1
+    optimal: str                 #: observed-fastest format
+
+
+class FeedbackLog:
+    """Bounded, thread-safe log of served-decision outcomes."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._lock = threading.Lock()
+        self._events: Deque[FeedbackEvent] = deque(maxlen=maxlen)
+        self._optimal_counts: Counter = Counter()
+        self._chosen_counts: Counter = Counter()
+
+    def record(
+        self,
+        request_id: str,
+        chosen: str,
+        observed: Mapping[str, float],
+    ) -> FeedbackEvent:
+        """Record observed per-format times for one served decision.
+
+        ``observed`` must contain the chosen format; the more formats it
+        covers, the tighter the regret bound (with only the chosen
+        format reported, regret is 0 by construction).
+        """
+        times = {str(k): float(v) for k, v in observed.items()}
+        if chosen not in times:
+            raise ValueError(
+                f"observed times must include the chosen format {chosen!r}; "
+                f"got {sorted(times)}"
+            )
+        bad = [k for k, v in times.items() if not v > 0.0]
+        if bad:
+            raise ValueError(f"observed times must be positive; bad: {bad}")
+        optimal = min(times, key=times.get)
+        regret = times[chosen] / times[optimal] - 1.0
+        event = FeedbackEvent(
+            request_id=request_id,
+            chosen=chosen,
+            observed=times,
+            regret=regret,
+            optimal=optimal,
+        )
+        with self._lock:
+            self._events.append(event)
+            self._optimal_counts[optimal] += 1
+            self._chosen_counts[chosen] += 1
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events(self) -> list:
+        """Snapshot of the retained events (most recent last)."""
+        with self._lock:
+            return list(self._events)
+
+    def optimal_distribution(self) -> Dict[str, int]:
+        """Observed-best format counts over the live workload."""
+        with self._lock:
+            return dict(self._optimal_counts)
+
+    def chosen_distribution(self) -> Dict[str, int]:
+        """Served-decision format counts."""
+        with self._lock:
+            return dict(self._chosen_counts)
+
+    def mean_regret(self, last: Optional[int] = None) -> float:
+        """Mean regret over the retained (or last ``n``) events."""
+        with self._lock:
+            events = list(self._events)
+        if last is not None:
+            events = events[-last:]
+        if not events:
+            return 0.0
+        return sum(e.regret for e in events) / len(events)

@@ -1,0 +1,469 @@
+"""Online format-selection inference: :class:`SelectionService`.
+
+The paper trains and evaluates its models offline; this module is the
+deployment half of the lightweight-selection argument — the trained
+models behind one request/response surface:
+
+* **inputs** — a raw sparse matrix (features extracted via the one-pass
+  :func:`repro.analysis.analyze_matrix`), a feature *dict*, or an
+  already-ordered feature *vector*;
+* **selection modes** — ``direct`` (the paper's Sec. V classifier),
+  ``indirect`` (Sec. VII: argmin of predicted per-format times) and
+  ``hybrid`` (keep the classifier's pick unless the regressor says it
+  costs more than ``(1 + tolerance) ×`` the predicted best);
+* **micro-batching** — :meth:`predict_batch` featurises and caches per
+  item but runs each model **once** over the stacked miss rows;
+* **caching** — bounded LRU feature and decision caches keyed on the
+  matrix structure digest / vector bytes, so a resubmitted matrix skips
+  both the O(nnz) scan and the model;
+* **online loop** — :meth:`record_feedback` ties observed execution
+  times back to served decisions, updating regret telemetry.
+
+All public methods are thread-safe (one service-wide lock around cache
+and counter mutation; model predictions are pure numpy and reentrant).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analysis import analyze_matrix
+from ..features import ALL_FEATURES, FEATURE_SETS
+from ..formats import CSRMatrix, SparseFormat
+from ..gpu.cache import LRUCache
+from .feedback import FeedbackLog
+from .telemetry import ServiceTelemetry
+
+__all__ = ["Decision", "SelectionService"]
+
+#: Selection strategies accepted by :class:`SelectionService`.
+MODES = ("direct", "indirect", "hybrid")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One served format decision."""
+
+    request_id: str
+    chosen: str                             #: recommended format name
+    chosen_index: int                       #: index into ``formats``
+    formats: Tuple[str, ...]                #: format vocabulary
+    mode: str                               #: strategy that produced it
+    predicted_times: Optional[Dict[str, float]] = None  #: regressor output
+    direct_choice: Optional[str] = None     #: classifier pick (hybrid only)
+    cached: bool = False                    #: served from the decision cache
+    latency_ms: float = 0.0                 #: per-request share of batch time
+    meta: Dict = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> Dict:
+        """JSON-able view (what the daemon returns on the wire)."""
+        out = {
+            "id": self.request_id,
+            "format": self.chosen,
+            "format_index": self.chosen_index,
+            "mode": self.mode,
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+        }
+        if self.predicted_times is not None:
+            out["predicted_times"] = self.predicted_times
+        if self.direct_choice is not None:
+            out["direct_choice"] = self.direct_choice
+        return out
+
+
+def _names_of(feature_set) -> Tuple[str, ...]:
+    if isinstance(feature_set, str):
+        return tuple(FEATURE_SETS[feature_set])
+    return tuple(feature_set)
+
+
+class SelectionService:
+    """Serve format decisions from fitted selection/prediction models.
+
+    Parameters
+    ----------
+    selector:
+        Fitted :class:`~repro.core.selector.FormatSelector` (required
+        for ``direct`` and ``hybrid`` modes).
+    predictor:
+        Fitted :class:`~repro.core.predictor.PerformancePredictor`
+        (required for ``indirect`` and ``hybrid`` modes).
+    mode:
+        ``"direct"``, ``"indirect"`` or ``"hybrid"``.
+    tolerance:
+        Hybrid-mode slack: the classifier's pick survives while its
+        predicted time is ≤ ``(1 + tolerance) ×`` the predicted best.
+    feature_cache_size / decision_cache_size:
+        LRU bounds (``None`` = unbounded, ``0`` disables the cache).
+    history:
+        Bound on the recent-decision window :meth:`record_feedback`
+        resolves request ids against, and on the feedback log.
+    """
+
+    def __init__(
+        self,
+        selector=None,
+        predictor=None,
+        *,
+        mode: str = "direct",
+        tolerance: float = 0.1,
+        feature_cache_size: Optional[int] = 512,
+        decision_cache_size: Optional[int] = 512,
+        history: int = 4096,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode in ("direct", "hybrid") and selector is None:
+            raise ValueError(f"{mode!r} mode requires a selector")
+        if mode in ("indirect", "hybrid") and predictor is None:
+            raise ValueError(f"{mode!r} mode requires a predictor")
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.selector = selector
+        self.predictor = predictor
+        self.mode = mode
+        self.tolerance = float(tolerance)
+
+        self.formats = self._resolve_formats()
+        self._sel_names = _names_of(selector.feature_set) if selector else None
+        self._pred_names = _names_of(predictor.feature_set) if predictor else None
+
+        self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        self.feedback = FeedbackLog(maxlen=history)
+        self._lock = threading.Lock()
+        self._feature_cache = (
+            LRUCache(feature_cache_size) if feature_cache_size != 0 else None
+        )
+        self._decision_cache = (
+            LRUCache(decision_cache_size) if decision_cache_size != 0 else None
+        )
+        self._recent = LRUCache(history)
+        self._next_id = 0
+
+    # -- construction ------------------------------------------------------
+
+    def _resolve_formats(self) -> Tuple[str, ...]:
+        fmts = []
+        for model in (self.selector, self.predictor):
+            if model is None:
+                continue
+            f = getattr(model, "formats_", None)
+            if f is None:
+                raise ValueError(
+                    f"{type(model).__name__} must be dataset-fitted "
+                    "(format vocabulary unknown)"
+                )
+            fmts.append(tuple(f))
+        if len(fmts) == 2 and fmts[0] != fmts[1]:
+            raise ValueError(
+                f"selector formats {fmts[0]} != predictor formats {fmts[1]}"
+            )
+        return fmts[0]
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        selector: Optional[str] = None,
+        predictor: Optional[str] = None,
+        *,
+        selector_version: Optional[str] = None,
+        predictor_version: Optional[str] = None,
+        **kwargs,
+    ) -> "SelectionService":
+        """Build a service from registry model names.
+
+        ``registry`` is a :class:`~repro.serve.registry.ModelRegistry`
+        or a path to one.  Versions default to each model's production
+        alias (falling back to latest).  Extra ``kwargs`` go to the
+        constructor; ``mode`` defaults to what the loaded models allow
+        (``hybrid`` if both, else ``direct``/``indirect``).
+        """
+        from .registry import ModelRegistry
+
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        if selector is None and predictor is None:
+            raise ValueError("need at least one of selector/predictor")
+        sel = pred = None
+        records = {}
+        if selector is not None:
+            sel, records["selector"] = registry.load(selector, selector_version)
+        if predictor is not None:
+            pred, records["predictor"] = registry.load(predictor, predictor_version)
+        if "mode" not in kwargs:
+            kwargs["mode"] = (
+                "hybrid" if sel is not None and pred is not None
+                else "direct" if sel is not None else "indirect"
+            )
+        service = cls(sel, pred, **kwargs)
+        service.records = records
+        return service
+
+    # -- featurisation -----------------------------------------------------
+
+    def _featurize(self, item) -> Tuple[Tuple[str, ...], np.ndarray, object, bool]:
+        """Normalise one request item to ``(names, vector, cache_key, hit)``.
+
+        Accepted items: a sparse matrix (any :class:`SparseFormat` /
+        :class:`CSRMatrix`), a feature dict, or a 1-D vector ordered
+        either as the full 17 canonical features or as the active
+        models' (shared) feature set.
+        """
+        if isinstance(item, (SparseFormat, CSRMatrix)):
+            from ..gpu.profile import _structure_digest
+
+            csr = item if isinstance(item, CSRMatrix) else CSRMatrix.from_coo(item.to_coo())
+            # The digest is a cheap O(nnz) hash of the structure — much
+            # cheaper than the full analysis it lets repeats skip.
+            key = _structure_digest(csr)
+            if self._feature_cache is not None:
+                cached = self._cache_get(self._feature_cache, key)
+                if cached is not None:
+                    return cached[0], cached[1], key, True
+            analysis = analyze_matrix(csr)
+            vec = np.array(
+                [analysis.features[n] for n in ALL_FEATURES], dtype=np.float64
+            )
+            if self._feature_cache is not None:
+                self._cache_put(self._feature_cache, key, (tuple(ALL_FEATURES), vec))
+            return tuple(ALL_FEATURES), vec, key, False
+
+        if isinstance(item, Mapping):
+            missing = [n for n in ALL_FEATURES if n not in item]
+            if missing:
+                raise ValueError(f"feature dict is missing {missing}")
+            vec = np.array([float(item[n]) for n in ALL_FEATURES], dtype=np.float64)
+            return tuple(ALL_FEATURES), vec, ("d", vec.tobytes()), False
+
+        vec = np.asarray(item, dtype=np.float64)
+        if vec.ndim != 1:
+            raise ValueError(
+                f"expected a matrix, feature dict or 1-D vector; "
+                f"got array of shape {vec.shape}"
+            )
+        names = self._vector_names(vec.size)
+        return names, vec, ("v", names, vec.tobytes()), False
+
+    def _vector_names(self, size: int) -> Tuple[str, ...]:
+        """Feature-name order implied by a raw vector's length."""
+        if size == len(ALL_FEATURES):
+            return tuple(ALL_FEATURES)
+        active = [n for n in (self._sel_names, self._pred_names) if n is not None]
+        shared = active[0] if all(a == active[0] for a in active) else None
+        if shared is not None and size == len(shared):
+            return shared
+        expect = sorted({len(ALL_FEATURES)} | ({len(shared)} if shared else set()))
+        raise ValueError(
+            f"cannot interpret a {size}-feature vector; expected one of "
+            f"{expect} features (canonical 17-feature order, or the active "
+            "models' shared feature set)"
+        )
+
+    @staticmethod
+    def _project(X: np.ndarray, names: Tuple[str, ...], want: Tuple[str, ...]) -> np.ndarray:
+        if names == want:
+            return X
+        try:
+            idx = [names.index(n) for n in want]
+        except ValueError as exc:
+            raise ValueError(
+                f"request features {names} do not cover model features {want}"
+            ) from exc
+        return X[:, idx]
+
+    def _cache_get(self, cache: LRUCache, key):
+        with self._lock:
+            return cache.get(key)
+
+    def _cache_put(self, cache: LRUCache, key, value) -> None:
+        with self._lock:
+            cache.put(key, value)
+
+    # -- selection ---------------------------------------------------------
+
+    def _decide_batch(
+        self, X: np.ndarray, names: Tuple[str, ...]
+    ) -> List[Tuple[int, Optional[np.ndarray], Optional[int]]]:
+        """Run the configured strategy over a stacked miss batch.
+
+        Returns per row: ``(chosen_index, predicted_times|None,
+        direct_index|None)``.
+        """
+        n = X.shape[0]
+        direct = None
+        times = None
+        if self.mode in ("direct", "hybrid"):
+            direct = self.selector.predict(self._project(X, names, self._sel_names))
+        if self.mode in ("indirect", "hybrid"):
+            times = self.predictor.predict_times(
+                self._project(X, names, self._pred_names)
+            )
+        out = []
+        for i in range(n):
+            t_i = times[i] if times is not None else None
+            if self.mode == "direct":
+                out.append((int(direct[i]), None, None))
+            elif self.mode == "indirect":
+                out.append((int(np.argmin(t_i)), t_i, None))
+            else:
+                d = int(direct[i])
+                best = int(np.argmin(t_i))
+                keep = t_i[d] <= (1.0 + self.tolerance) * t_i[best]
+                out.append((d if keep else best, t_i, d))
+        return out
+
+    # -- public API --------------------------------------------------------
+
+    def predict(self, item, *, request_id: Optional[str] = None) -> Decision:
+        """Serve one decision (see :meth:`predict_batch` for inputs)."""
+        return self.predict_batch([item], request_ids=[request_id])[0]
+
+    def predict_batch(
+        self,
+        items: Sequence,
+        *,
+        request_ids: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[Decision]:
+        """Serve one decision per item, batching model work.
+
+        Items may mix matrices, feature dicts and 1-D vectors.  Feature
+        extraction is cached per matrix structure; decisions are cached
+        per (features, mode, tolerance); all cache misses of compatible
+        feature order run through each model in **one** vectorised call.
+        """
+        t0 = time.perf_counter()
+        if request_ids is None:
+            request_ids = [None] * len(items)
+        if len(request_ids) != len(items):
+            raise ValueError("request_ids length mismatch")
+
+        f_hits = f_misses = d_hits = d_misses = 0
+        prepared = []  # (names, vec, decision_key, cached_payload|None)
+        for item in items:
+            names, vec, fkey, f_hit = self._featurize(item)
+            f_hits += f_hit
+            f_misses += not f_hit
+            dkey = ("dec", names, vec.tobytes(), self.mode, self.tolerance)
+            payload = (
+                self._cache_get(self._decision_cache, dkey)
+                if self._decision_cache is not None
+                else None
+            )
+            d_hits += payload is not None
+            d_misses += payload is None
+            prepared.append((names, vec, dkey, payload))
+
+        # One vectorised model call per distinct feature order.
+        miss_rows: Dict[Tuple[str, ...], List[int]] = {}
+        for i, (names, _, _, payload) in enumerate(prepared):
+            if payload is None:
+                miss_rows.setdefault(names, []).append(i)
+        results: Dict[int, Tuple[int, Optional[np.ndarray], Optional[int]]] = {}
+        for names, rows in miss_rows.items():
+            X = np.stack([prepared[i][1] for i in rows])
+            for i, res in zip(rows, self._decide_batch(X, names)):
+                results[i] = res
+                if self._decision_cache is not None:
+                    self._cache_put(self._decision_cache, prepared[i][2], res)
+
+        latency = time.perf_counter() - t0
+        per_request_ms = 1e3 * latency / max(1, len(items))
+        decisions = []
+        with self._lock:
+            ids = []
+            for rid in request_ids:
+                if rid is None:
+                    rid = f"r{self._next_id:06d}"
+                    self._next_id += 1
+                ids.append(str(rid))
+        for i, ((names, vec, dkey, payload), rid) in enumerate(zip(prepared, ids)):
+            cached = payload is not None
+            chosen_idx, times, direct_idx = payload if cached else results[i]
+            decision = Decision(
+                request_id=rid,
+                chosen=self.formats[chosen_idx],
+                chosen_index=chosen_idx,
+                formats=self.formats,
+                mode=self.mode,
+                predicted_times=(
+                    None if times is None
+                    else {f: float(t) for f, t in zip(self.formats, times)}
+                ),
+                direct_choice=(
+                    None if direct_idx is None else self.formats[direct_idx]
+                ),
+                cached=cached,
+                latency_ms=per_request_ms,
+            )
+            decisions.append(decision)
+            with self._lock:
+                self._recent.put(rid, decision)
+        self.telemetry.record_batch(
+            len(items),
+            latency,
+            feature_hits=f_hits,
+            feature_misses=f_misses,
+            decision_hits=d_hits,
+            decision_misses=d_misses,
+        )
+        return decisions
+
+    def record_feedback(
+        self,
+        request_id: str,
+        observed: Mapping[str, float],
+        *,
+        chosen: Optional[str] = None,
+    ):
+        """Report observed per-format execution times for a served decision.
+
+        ``request_id`` normally names a recent decision (the service
+        looks up what it chose); pass ``chosen`` explicitly for
+        decisions that aged out of the window.  Returns the
+        :class:`~repro.serve.feedback.FeedbackEvent`.
+        """
+        if chosen is None:
+            with self._lock:
+                decision = self._recent.get(request_id)
+            if decision is None:
+                raise KeyError(
+                    f"unknown request id {request_id!r}; pass chosen= for "
+                    "decisions outside the recent window"
+                )
+            chosen = decision.chosen
+        event = self.feedback.record(str(request_id), chosen, observed)
+        self.telemetry.record_regret(event.regret)
+        return event
+
+    def stats(self) -> Dict:
+        """Telemetry snapshot plus model/config description."""
+        snap = self.telemetry.snapshot()
+        snap["service"] = {
+            "mode": self.mode,
+            "tolerance": self.tolerance,
+            "formats": list(self.formats),
+            "selector": getattr(self.selector, "model_name", None),
+            "predictor": getattr(self.predictor, "model_name", None),
+            "feedback": {
+                "optimal_distribution": self.feedback.optimal_distribution(),
+                "chosen_distribution": self.feedback.chosen_distribution(),
+                "mean_regret": self.feedback.mean_regret(),
+            },
+        }
+        return snap
+
+    def clear_caches(self) -> None:
+        """Drop cached features and decisions (telemetry is kept)."""
+        with self._lock:
+            if self._feature_cache is not None:
+                self._feature_cache.clear()
+            if self._decision_cache is not None:
+                self._decision_cache.clear()

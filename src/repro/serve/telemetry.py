@@ -1,0 +1,150 @@
+"""Serving telemetry: latency, throughput, cache hit rates, regret.
+
+One :class:`ServiceTelemetry` instance aggregates everything a
+:class:`~repro.serve.service.SelectionService` observes:
+
+* per-request latency (bounded reservoir → mean / p50 / p95 / p99),
+* request and batch counts → throughput over the service lifetime,
+* feature- and decision-cache hit rates,
+* a rolling **regret** estimate versus the oracle, fed by the online
+  feedback loop: for each served decision whose observed per-format
+  times come back, ``regret = t_chosen / t_best - 1`` (0 = the service
+  picked the measured-fastest format).
+
+All mutators are thread-safe; :meth:`snapshot` returns a plain dict so
+the numbers drop straight into JSON responses and bench reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ServiceTelemetry"]
+
+
+def _percentile(values, q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class ServiceTelemetry:
+    """Thread-safe rolling counters for one serving process.
+
+    Parameters
+    ----------
+    window:
+        Bound on the latency / regret reservoirs (the most recent
+        ``window`` observations define the rolling statistics).
+    ewma_alpha:
+        Smoothing factor of the exponentially weighted regret estimate.
+    """
+
+    def __init__(self, window: int = 1024, ewma_alpha: float = 0.1) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.window = window
+        self.ewma_alpha = ewma_alpha
+        self._lock = threading.Lock()
+        self._start = time.perf_counter()
+        self.n_requests = 0
+        self.n_batches = 0
+        self.feature_cache_hits = 0
+        self.feature_cache_misses = 0
+        self.decision_cache_hits = 0
+        self.decision_cache_misses = 0
+        self.n_feedback = 0
+        self._latencies_s: Deque[float] = deque(maxlen=window)
+        self._regrets: Deque[float] = deque(maxlen=window)
+        self._regret_ewma: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record_batch(
+        self,
+        n_requests: int,
+        latency_s: float,
+        *,
+        feature_hits: int = 0,
+        feature_misses: int = 0,
+        decision_hits: int = 0,
+        decision_misses: int = 0,
+    ) -> None:
+        """Account one (possibly single-request) prediction batch."""
+        per_request = latency_s / max(1, n_requests)
+        with self._lock:
+            self.n_requests += n_requests
+            self.n_batches += 1
+            self.feature_cache_hits += feature_hits
+            self.feature_cache_misses += feature_misses
+            self.decision_cache_hits += decision_hits
+            self.decision_cache_misses += decision_misses
+            for _ in range(n_requests):
+                self._latencies_s.append(per_request)
+
+    def record_regret(self, regret: float) -> None:
+        """Account one feedback observation (regret ≥ 0 vs the oracle)."""
+        regret = float(max(0.0, regret))
+        with self._lock:
+            self.n_feedback += 1
+            self._regrets.append(regret)
+            if self._regret_ewma is None:
+                self._regret_ewma = regret
+            else:
+                a = self.ewma_alpha
+                self._regret_ewma = a * regret + (1.0 - a) * self._regret_ewma
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> Dict:
+        """Current counters as a JSON-able dict."""
+        with self._lock:
+            lat = list(self._latencies_s)
+            regrets = list(self._regrets)
+            uptime = time.perf_counter() - self._start
+            return {
+                "uptime_s": uptime,
+                "requests": self.n_requests,
+                "batches": self.n_batches,
+                "throughput_rps": self.n_requests / uptime if uptime > 0 else 0.0,
+                "latency_ms": {
+                    "mean": 1e3 * float(np.mean(lat)) if lat else 0.0,
+                    "p50": 1e3 * _percentile(lat, 50),
+                    "p95": 1e3 * _percentile(lat, 95),
+                    "p99": 1e3 * _percentile(lat, 99),
+                },
+                "feature_cache": {
+                    "hits": self.feature_cache_hits,
+                    "misses": self.feature_cache_misses,
+                    "hit_rate": self._rate(self.feature_cache_hits,
+                                           self.feature_cache_misses),
+                },
+                "decision_cache": {
+                    "hits": self.decision_cache_hits,
+                    "misses": self.decision_cache_misses,
+                    "hit_rate": self._rate(self.decision_cache_hits,
+                                           self.decision_cache_misses),
+                },
+                "feedback": {
+                    "count": self.n_feedback,
+                    "regret_mean": float(np.mean(regrets)) if regrets else 0.0,
+                    "regret_p95": _percentile(regrets, 95),
+                    "regret_ewma": self._regret_ewma,
+                    "oracle_hit_rate": (
+                        float(np.mean([r <= 1e-12 for r in regrets]))
+                        if regrets else 0.0
+                    ),
+                },
+            }

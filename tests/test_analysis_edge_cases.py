@@ -1,0 +1,105 @@
+"""Degenerate-matrix hardening for the one-pass analyzer.
+
+A serving endpoint sees whatever clients send — including empty
+matrices and matrices with all-zero rows.  Every path must return
+finite, well-defined features and profiles without tripping a single
+numpy runtime warning (the tests promote warnings to errors).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_matrix
+from repro.features import ALL_FEATURES, extract_features, feature_vector
+from repro.formats import COOMatrix, CSRMatrix
+
+
+def _empty(shape):
+    return COOMatrix(
+        shape,
+        np.array([], dtype=int),
+        np.array([], dtype=int),
+        np.array([], dtype=float),
+    )
+
+
+@pytest.fixture(autouse=True)
+def warnings_are_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+class TestEmptyMatrices:
+    @pytest.mark.parametrize("shape", [(5, 7), (1, 1), (200, 3)])
+    def test_zero_nnz(self, shape):
+        analysis = analyze_matrix(_empty(shape))
+        feats = analysis.features
+        assert feats["n_rows"] == shape[0]
+        assert feats["nnz_tot"] == 0.0
+        vec = feature_vector(feats, ALL_FEATURES)
+        assert np.all(np.isfinite(vec))
+        # All chunk statistics collapse to zero, not NaN.
+        for name in ("nnzb_mu", "nnzb_sigma", "snzb_mu", "snzb_max"):
+            assert feats[name] == 0.0
+        assert analysis.profile.nnz == 0
+        assert analysis.profile.warp_divergence == 1.0
+
+    def test_zero_by_zero(self):
+        analysis = analyze_matrix(_empty((0, 0)))
+        vec = feature_vector(analysis.features, ALL_FEATURES)
+        assert np.all(np.isfinite(vec))
+        assert analysis.features["nnz_mu"] == 0.0
+        assert analysis.features["nnz_frac"] == 0.0
+
+    def test_zero_rows_some_cols(self):
+        vec = feature_vector(extract_features(_empty((0, 9))), ALL_FEATURES)
+        assert np.all(np.isfinite(vec))
+
+
+class TestAllZeroRows:
+    def test_interleaved_empty_rows(self):
+        # Rows 0, 2, 4... empty; odd rows hold one element each.
+        rows = np.arange(1, 20, 2)
+        coo = COOMatrix((20, 10), rows, rows % 10, np.ones(len(rows)))
+        analysis = analyze_matrix(coo)
+        feats = analysis.features
+        assert feats["nnz_min"] == 0.0
+        assert feats["nnzb_min"] == 0.0          # empty rows have 0 chunks
+        assert feats["snzb_mu"] == 1.0           # every chunk is one element
+        vec = feature_vector(feats, ALL_FEATURES)
+        assert np.all(np.isfinite(vec))
+        assert analysis.profile.empty_rows == 10
+
+    def test_single_dense_row_rest_empty(self):
+        coo = COOMatrix(
+            (50, 50), np.zeros(50, dtype=int), np.arange(50), np.ones(50)
+        )
+        feats = extract_features(coo)
+        assert feats["nnz_max"] == 50.0
+        assert feats["nnzb_tot"] == 1.0          # one 50-wide chunk
+        assert np.all(np.isfinite(feature_vector(feats, ALL_FEATURES)))
+
+    def test_csr_input_equivalent(self):
+        rows = np.array([1, 3])
+        coo = COOMatrix((6, 4), rows, np.array([0, 2]), np.ones(2))
+        csr = CSRMatrix.from_coo(coo)
+        np.testing.assert_array_equal(
+            feature_vector(extract_features(coo), ALL_FEATURES),
+            feature_vector(extract_features(csr), ALL_FEATURES),
+        )
+
+
+class TestServiceDegenerateInputs:
+    def test_service_serves_empty_matrix(self, mini_dataset):
+        # End to end: a 0-nnz matrix must get a decision, not a warning.
+        from repro.core import FormatSelector
+        from repro.serve import SelectionService
+
+        train = mini_dataset.drop_coo_best()
+        selector = FormatSelector("decision_tree", feature_set="set123").fit(train)
+        service = SelectionService(selector)
+        decision = service.predict(_empty((30, 30)))
+        assert decision.chosen in train.formats

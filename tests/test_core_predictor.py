@@ -82,3 +82,27 @@ class TestConfig:
         pp = PerformancePredictor("xgboost", n_estimators=11)
         pp_model = pp._factory()
         assert pp_model.n_estimators == 11
+
+
+class TestVectorInput:
+    def test_1d_vector_equals_one_row_batch(self, split):
+        train, test = split
+        pp = PerformancePredictor(
+            "decision_tree", feature_set="set12", mode="joint"
+        ).fit(train)
+        X = test.X("set12")
+        for i in range(min(3, X.shape[0])):
+            one_d = pp.predict_times(X[i])
+            batch = pp.predict_times(X[i][None, :])
+            np.testing.assert_array_equal(one_d, batch)
+            assert one_d.shape == (1, len(train.formats))
+
+    def test_predict_best_on_vector(self, split):
+        train, test = split
+        pp = PerformancePredictor(
+            "decision_tree", feature_set="set12", mode="per_format"
+        ).fit(train)
+        vec = test.X("set12")[0]
+        best = pp.predict_best(vec)
+        assert best.shape == (1,)
+        assert 0 <= best[0] < len(train.formats)

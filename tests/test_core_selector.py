@@ -113,3 +113,26 @@ class TestTunedSelector:
         train, _ = split
         sel = tuned_selector("decision_tree", train, feature_set="set1", cv=3)
         assert not hasattr(sel, "tuned_params_")
+
+
+class TestVectorInput:
+    def test_1d_vector_equals_one_row_batch(self, split):
+        train, test = split
+        sel = FormatSelector("decision_tree", feature_set="set12").fit(train)
+        X = test.X("set12")
+        for i in range(min(3, X.shape[0])):
+            one_d = sel.predict(X[i])
+            batch = sel.predict(X[i][None, :])
+            np.testing.assert_array_equal(one_d, batch)
+            assert one_d.shape == (1,)
+            assert sel.predict_formats(X[i])[0] == sel.predict_formats(
+                X[i][None, :]
+            )[0]
+
+    def test_list_vector_accepted(self, split):
+        train, _ = split
+        sel = FormatSelector("decision_tree", feature_set="set12").fit(train)
+        vec = train.X("set12")[0]
+        np.testing.assert_array_equal(
+            sel.predict(list(vec)), sel.predict(vec[None, :])
+        )

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.ml",
     "repro.core",
     "repro.bench",
+    "repro.serve",
 ]
 
 

@@ -1,0 +1,216 @@
+"""JSON-lines daemon protocol tests plus the registry/serve CLI flow."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import FormatSelector
+from repro.features import extract_features
+from repro.serve import ModelRegistry, SelectionService, handle_request, serve_jsonl
+
+
+@pytest.fixture(scope="module")
+def train(mini_dataset):
+    return mini_dataset.drop_coo_best()
+
+
+@pytest.fixture(scope="module")
+def selector(train):
+    return FormatSelector("decision_tree", feature_set="set123").fit(train)
+
+
+@pytest.fixture(scope="module")
+def matrices(mini_corpus):
+    return [entry.build() for entry in list(mini_corpus)[:3]]
+
+
+@pytest.fixture
+def service(selector):
+    return SelectionService(selector)
+
+
+class TestProtocol:
+    def test_predict_features(self, service, matrices, train):
+        response = handle_request(
+            service,
+            {"op": "predict", "id": "q1",
+             "features": extract_features(matrices[0])},
+        )
+        assert response["ok"] is True
+        assert response["id"] == "q1"
+        assert response["format"] in train.formats
+        assert response["latency_ms"] >= 0
+
+    def test_predict_vector(self, service, train):
+        response = handle_request(
+            service,
+            {"op": "predict", "vector": train.feature_array[0].tolist()},
+        )
+        assert response["ok"] is True
+
+    def test_predict_path(self, service, matrices, train, tmp_path):
+        from repro.matrices import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(matrices[0], path)
+        response = handle_request(
+            service, {"op": "predict", "path": str(path)}
+        )
+        assert response["ok"] is True
+        assert response["format"] in train.formats
+
+    def test_predict_source_validation(self, service):
+        assert handle_request(service, {"op": "predict"})["ok"] is False
+        both = handle_request(
+            service, {"op": "predict", "vector": [], "features": {}}
+        )
+        assert both["ok"] is False
+        assert "exactly one" in both["error"]
+
+    def test_feedback_and_stats(self, service, matrices, train):
+        predict = handle_request(
+            service,
+            {"op": "predict", "id": "f1",
+             "features": extract_features(matrices[0])},
+        )
+        observed = {f: 1.0 for f in train.formats}
+        observed[predict["format"]] = 1.5
+        feedback = handle_request(
+            service, {"op": "feedback", "id": "f1", "times": observed}
+        )
+        assert feedback["ok"] is True
+        assert feedback["regret"] == pytest.approx(0.5)
+        stats = handle_request(service, {"op": "stats"})
+        assert stats["ok"] is True
+        assert stats["stats"]["feedback"]["count"] == 1
+
+    def test_unknown_op(self, service):
+        response = handle_request(service, {"op": "levitate"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+    def test_errors_do_not_crash(self, service):
+        assert handle_request(service, ["not", "a", "dict"])["ok"] is False
+        assert handle_request(
+            service, {"op": "feedback", "id": "nope", "times": {}}
+        )["ok"] is False
+
+
+class TestServeLoop:
+    def test_loop_end_to_end(self, service, matrices, train):
+        lines = [
+            json.dumps({"op": "predict", "id": f"q{i}",
+                        "features": extract_features(m)})
+            for i, m in enumerate(matrices)
+        ]
+        lines += ["", "garbage", json.dumps({"op": "stats"}),
+                  json.dumps({"op": "shutdown"}),
+                  json.dumps({"op": "predict"})]  # after shutdown: unreached
+        out = io.StringIO()
+        served = serve_jsonl(service, lines, out)
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        # 3 predicts + bad JSON + stats + shutdown; blank skipped, tail unread.
+        assert served == len(responses) == 6
+        assert [r["ok"] for r in responses] == [True] * 3 + [False, True, True]
+        assert responses[-1]["shutdown"] is True
+
+    def test_max_requests(self, service, train):
+        request = json.dumps(
+            {"op": "predict", "vector": train.feature_array[0].tolist()}
+        )
+        out = io.StringIO()
+        served = serve_jsonl(service, [request] * 10, out, max_requests=4)
+        assert served == 4
+
+
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def registry_dir(self, mini_dataset, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli_registry")
+        dataset_path = root / "ds.npz"
+        mini_dataset.save(dataset_path)
+        registry = root / "registry"
+        rc = main([
+            "registry", "save", "--registry", str(registry),
+            "--name", "sel", "--dataset", str(dataset_path),
+            "--kind", "selector", "--model", "decision_tree",
+            "--feature-set", "set123", "--promote",
+        ])
+        assert rc == 0
+        rc = main([
+            "registry", "save", "--registry", str(registry),
+            "--name", "prd", "--dataset", str(dataset_path),
+            "--kind", "predictor", "--model", "decision_tree",
+            "--feature-set", "set123", "--promote",
+        ])
+        assert rc == 0
+        return registry
+
+    @pytest.fixture(scope="class")
+    def mtx_files(self, mini_corpus, tmp_path_factory):
+        from repro.matrices import write_matrix_market
+
+        root = tmp_path_factory.mktemp("cli_mtx")
+        paths = []
+        for entry in list(mini_corpus)[:3]:
+            path = root / f"{entry.name}.mtx"
+            write_matrix_market(entry.build(), path)
+            paths.append(path)
+        return paths
+
+    def test_registry_list(self, registry_dir, capsys):
+        assert main(["registry", "list", "--registry", str(registry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "sel:v0001" in out and "prd:v0001" in out
+        assert out.count(" *") == 2  # both promoted
+
+    def test_registry_promote_unknown_fails(self, registry_dir, capsys):
+        rc = main(["registry", "promote", "--registry", str(registry_dir),
+                   "--name", "sel", "--version", "v0099"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_one_shot_matches_cold_load(self, registry_dir, mtx_files,
+                                              mini_dataset, capsys):
+        # CLI (fresh registry load) must agree with the in-process model.
+        rc = main(["serve", "--registry", str(registry_dir),
+                   "--selector", "sel", "--predictor", "prd",
+                   "--mode", "hybrid", "--stats"]
+                  + [str(p) for p in mtx_files])
+        assert rc == 0
+        out = capsys.readouterr().out
+        service = SelectionService.from_registry(
+            registry_dir, "sel", "prd", mode="hybrid"
+        )
+        from repro.matrices import read_matrix_market
+
+        for path in mtx_files:
+            expected = service.predict(read_matrix_market(path)).chosen
+            assert f"{path.name}: {expected}" in out
+        assert '"requests": 3' in out  # --stats telemetry block
+
+    def test_serve_daemon_via_stdin(self, registry_dir, mtx_files,
+                                    monkeypatch, capsys):
+        requests = [
+            json.dumps({"op": "predict", "id": "d0", "path": str(mtx_files[0])}),
+            json.dumps({"op": "stats"}),
+            json.dumps({"op": "shutdown"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        rc = main(["serve", "--registry", str(registry_dir),
+                   "--selector", "sel", "--daemon"])
+        assert rc == 0
+        responses = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert [r["ok"] for r in responses] == [True, True, True]
+        assert responses[0]["id"] == "d0"
+        assert responses[2]["shutdown"] is True
+
+    def test_serve_requires_models_and_input(self, registry_dir, capsys):
+        assert main(["serve", "--registry", str(registry_dir)]) == 1
+        assert main(["serve", "--registry", str(registry_dir),
+                     "--selector", "sel"]) == 1
+        assert main(["serve", "--registry", str(registry_dir),
+                     "--selector", "ghost", "--daemon"]) == 1

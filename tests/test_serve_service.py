@@ -1,0 +1,242 @@
+"""SelectionService tests: modes, caching, batching, feedback, threads."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import FormatSelector
+from repro.core.predictor import PerformancePredictor
+from repro.features import ALL_FEATURES, extract_features, feature_vector
+from repro.serve import ModelRegistry, SelectionService
+
+
+@pytest.fixture(scope="module")
+def train(mini_dataset):
+    return mini_dataset.drop_coo_best()
+
+
+@pytest.fixture(scope="module")
+def selector(train):
+    return FormatSelector("decision_tree", feature_set="set123").fit(train)
+
+
+@pytest.fixture(scope="module")
+def predictor(train):
+    return PerformancePredictor(
+        "decision_tree", feature_set="set123", mode="joint"
+    ).fit(train)
+
+
+@pytest.fixture(scope="module")
+def matrices(mini_corpus):
+    return [entry.build() for entry in list(mini_corpus)[:6]]
+
+
+class TestConstruction:
+    def test_mode_requirements(self, selector, predictor):
+        with pytest.raises(ValueError, match="requires a predictor"):
+            SelectionService(selector, mode="indirect")
+        with pytest.raises(ValueError, match="requires a selector"):
+            SelectionService(predictor=predictor, mode="direct")
+        with pytest.raises(ValueError, match="requires a predictor"):
+            SelectionService(selector, mode="hybrid")
+        with pytest.raises(ValueError, match="mode must be"):
+            SelectionService(selector, mode="psychic")
+
+    def test_unfitted_selector_rejected(self):
+        with pytest.raises(ValueError, match="dataset-fitted"):
+            SelectionService(FormatSelector("decision_tree"))
+
+    def test_from_registry_defaults_mode(self, selector, predictor, train, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(selector, "sel", dataset=train)
+        registry.save(predictor, "prd", dataset=train)
+        both = SelectionService.from_registry(registry, "sel", "prd")
+        assert both.mode == "hybrid"
+        assert SelectionService.from_registry(registry, "sel").mode == "direct"
+        assert SelectionService.from_registry(
+            registry, predictor="prd"
+        ).mode == "indirect"
+
+
+class TestPrediction:
+    def test_matches_in_process_model(self, selector, matrices):
+        service = SelectionService(selector)
+        decisions = service.predict_batch(matrices)
+        for matrix, decision in zip(matrices, decisions):
+            vec = feature_vector(extract_features(matrix), ALL_FEATURES)
+            expected = selector.predict_formats(vec)[0]
+            assert decision.chosen == expected
+
+    def test_input_kinds_agree(self, selector, matrices):
+        service = SelectionService(selector, feature_cache_size=0,
+                                   decision_cache_size=0)
+        feats = extract_features(matrices[0])
+        by_matrix = service.predict(matrices[0]).chosen
+        by_dict = service.predict(feats).chosen
+        by_vector = service.predict(feature_vector(feats, ALL_FEATURES)).chosen
+        assert by_matrix == by_dict == by_vector
+
+    def test_shared_set_vector_accepted(self, train):
+        sel = FormatSelector("decision_tree", feature_set="imp").fit(train)
+        service = SelectionService(sel)
+        feats = {n: float(v) for n, v in zip(ALL_FEATURES, train.feature_array[0])}
+        want = service.predict(feats).chosen
+        vec7 = feature_vector(feats, service._sel_names)
+        assert service.predict(vec7).chosen == want
+
+    def test_bad_vector_length_rejected(self, selector):
+        service = SelectionService(selector)
+        with pytest.raises(ValueError, match="cannot interpret"):
+            service.predict(np.arange(5, dtype=float))
+        with pytest.raises(ValueError, match="1-D vector"):
+            service.predict(np.zeros((2, 17)))
+
+    def test_missing_feature_rejected(self, selector):
+        service = SelectionService(selector)
+        with pytest.raises(ValueError, match="missing"):
+            service.predict({"n_rows": 10.0})
+
+    def test_indirect_mode_is_argmin(self, predictor, matrices):
+        service = SelectionService(predictor=predictor, mode="indirect")
+        decision = service.predict(matrices[0])
+        times = decision.predicted_times
+        assert decision.chosen == min(times, key=times.get)
+        vec = feature_vector(extract_features(matrices[0]), ALL_FEATURES)
+        np.testing.assert_allclose(
+            sorted(times.values()), sorted(predictor.predict_times(vec)[0])
+        )
+
+    def test_hybrid_tolerance_extremes(self, selector, predictor, matrices):
+        # Huge tolerance → always the classifier's pick; zero → the argmin.
+        loose = SelectionService(selector, predictor, mode="hybrid",
+                                 tolerance=1e9)
+        tight = SelectionService(selector, predictor, mode="hybrid",
+                                 tolerance=0.0)
+        for matrix in matrices:
+            vec = feature_vector(extract_features(matrix), ALL_FEATURES)
+            d_loose = loose.predict(matrix)
+            assert d_loose.chosen == d_loose.direct_choice
+            assert d_loose.direct_choice == selector.predict_formats(vec)[0]
+            d_tight = tight.predict(matrix)
+            times = d_tight.predicted_times
+            assert d_tight.chosen == min(times, key=times.get)
+
+    def test_request_ids(self, selector, matrices):
+        service = SelectionService(selector)
+        auto = service.predict(matrices[0])
+        named = service.predict(matrices[0], request_id="job-7")
+        assert auto.request_id == "r000000"
+        assert named.request_id == "job-7"
+
+
+class TestCaching:
+    def test_caches_hit_on_resubmission(self, selector, matrices):
+        service = SelectionService(selector)
+        first = service.predict_batch(matrices)
+        second = service.predict_batch(matrices)
+        assert [d.chosen for d in first] == [d.chosen for d in second]
+        assert not any(d.cached for d in first)
+        assert all(d.cached for d in second)
+        snap = service.telemetry.snapshot()
+        assert snap["feature_cache"]["hits"] == len(matrices)
+        assert snap["decision_cache"]["hits"] == len(matrices)
+        assert snap["requests"] == 2 * len(matrices)
+
+    def test_cache_disable(self, selector, matrices):
+        service = SelectionService(selector, feature_cache_size=0,
+                                   decision_cache_size=0)
+        service.predict(matrices[0])
+        repeat = service.predict(matrices[0])
+        assert not repeat.cached
+        snap = service.telemetry.snapshot()
+        assert snap["decision_cache"]["hits"] == 0
+
+    def test_clear_caches(self, selector, matrices):
+        service = SelectionService(selector)
+        service.predict(matrices[0])
+        service.clear_caches()
+        assert not service.predict(matrices[0]).cached
+
+    def test_latency_recorded(self, selector, matrices):
+        service = SelectionService(selector)
+        service.predict_batch(matrices)
+        snap = service.telemetry.snapshot()
+        assert snap["latency_ms"]["p50"] > 0
+        assert snap["latency_ms"]["p99"] >= snap["latency_ms"]["p50"]
+        assert snap["throughput_rps"] > 0
+
+
+class TestFeedback:
+    def test_regret_against_oracle(self, selector, train, matrices):
+        service = SelectionService(selector)
+        decision = service.predict(matrices[0])
+        observed = {f: 1.0 for f in train.formats}
+        observed[decision.chosen] = 1.2   # chosen is 20% worse than best
+        event = service.record_feedback(decision.request_id, observed)
+        assert event.regret == pytest.approx(0.2)
+        snap = service.telemetry.snapshot()
+        assert snap["feedback"]["count"] == 1
+        assert snap["feedback"]["regret_mean"] == pytest.approx(0.2)
+        assert snap["feedback"]["oracle_hit_rate"] == 0.0
+
+    def test_oracle_hit(self, selector, train, matrices):
+        service = SelectionService(selector)
+        decision = service.predict(matrices[0])
+        observed = {f: 2.0 for f in train.formats}
+        observed[decision.chosen] = 1.0   # chosen is the fastest
+        event = service.record_feedback(decision.request_id, observed)
+        assert event.regret == 0.0
+        assert event.optimal == decision.chosen
+        snap = service.telemetry.snapshot()
+        assert snap["feedback"]["oracle_hit_rate"] == 1.0
+
+    def test_unknown_id_needs_chosen(self, selector, train):
+        service = SelectionService(selector)
+        observed = {f: 1.0 for f in train.formats}
+        with pytest.raises(KeyError, match="unknown request id"):
+            service.record_feedback("ghost", observed)
+        event = service.record_feedback("ghost", observed,
+                                        chosen=train.formats[0])
+        assert event.regret == 0.0
+
+    def test_stats_distributions(self, selector, train, matrices):
+        service = SelectionService(selector)
+        decision = service.predict(matrices[0])
+        observed = {f: 1.0 + i for i, f in enumerate(train.formats)}
+        service.record_feedback(decision.request_id, observed)
+        stats = service.stats()
+        assert stats["service"]["feedback"]["chosen_distribution"] == {
+            decision.chosen: 1
+        }
+        assert stats["service"]["feedback"]["optimal_distribution"] == {
+            train.formats[0]: 1
+        }
+
+
+class TestThreads:
+    def test_concurrent_predict_and_feedback(self, selector, train, matrices):
+        service = SelectionService(selector)
+        observed = {f: 1.0 for f in train.formats}
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(25):
+                    m = matrices[int(rng.integers(len(matrices)))]
+                    decision = service.predict(m)
+                    service.record_feedback(decision.request_id, observed)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = service.telemetry.snapshot()
+        assert snap["requests"] == 100
+        assert snap["feedback"]["count"] == 100
