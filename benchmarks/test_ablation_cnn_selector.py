@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro.bench import bench_corpus, bench_dataset, bench_seed, caption
+from repro.bench import bench_config, bench_corpus, bench_dataset, caption
 from repro.core import FormatSelector
 from repro.features import FEATURE_SETS, density_image, extract_features, feature_vector
 from repro.ml import SimpleCNNClassifier, accuracy_score
@@ -32,7 +32,7 @@ def test_cnn_vs_xgboost_selector(run_once):
         images = np.stack([density_image(matrices[n], size=24) for n in ds.names])
         labels = ds.labels
 
-        rng = np.random.default_rng(bench_seed())
+        rng = np.random.default_rng(bench_config().seed)
         idx = rng.permutation(len(ds))
         n_test = max(1, len(ds) // 5)
         test_idx, train_idx = idx[:n_test], idx[n_test:]
@@ -42,7 +42,7 @@ def test_cnn_vs_xgboost_selector(run_once):
         acc_xgb = xgb.score(ds.subset(test_idx))
 
         cnn = SimpleCNNClassifier(filters=(8, 16), hidden=48, n_epochs=25,
-                                  seed=bench_seed())
+                                  seed=bench_config().seed)
         cnn.fit(images[train_idx], labels[train_idx])
         acc_cnn = accuracy_score(labels[test_idx], cnn.predict(images[test_idx]))
 

@@ -9,7 +9,7 @@ the design argument of SMAT's confidence mechanism.
 
 import numpy as np
 
-from repro.bench import bench_corpus, bench_dataset, bench_seed, caption, render_table
+from repro.bench import bench_config, bench_corpus, bench_dataset, caption, render_table
 from repro.core import ConfidenceSelector, FormatSelector
 from repro.gpu import DEVICES, SpMVExecutor
 
@@ -18,13 +18,13 @@ def test_confidence_threshold_sweep(run_once):
     def measure():
         ds = bench_dataset("k40c", "single").drop_coo_best()
         corpus = {e.name: e for e in bench_corpus()}
-        rng = np.random.default_rng(bench_seed())
+        rng = np.random.default_rng(bench_config().seed)
         idx = rng.permutation(len(ds))
         n_test = min(40, max(2, len(ds) // 5))
         test = ds.subset(idx[:n_test])
         train = ds.subset(idx[n_test:])
         matrices = {n: corpus[n].build() for n in test.names}
-        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_seed() + 2)
+        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_config().seed + 2)
 
         rows = {}
         for thr in (0.0, 0.5, 0.8, 1.0):

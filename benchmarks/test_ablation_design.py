@@ -14,7 +14,7 @@ design decision contributes.
 
 import numpy as np
 
-from repro.bench import bench_corpus, bench_dataset, bench_seed, caption, render_series
+from repro.bench import bench_config, bench_corpus, bench_dataset, caption, render_series
 from repro.core import FormatSelector, IndirectClassifier, PerformancePredictor, build_dataset
 from repro.gpu import DEVICES, NoiseModel
 from repro.ml import KFold
@@ -107,7 +107,7 @@ def test_ablation_label_noise(run_once):
                 DEVICES["k40c"],
                 "single",
                 noise=NoiseModel(sigma, 0.03),
-                seed=bench_seed(),
+                seed=bench_config().seed,
             ).drop_coo_best()
             accs = []
             for tr, te in KFold(3, seed=5).split(len(ds)):

@@ -14,7 +14,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro.bench import bench_corpus, bench_seed, caption, render_table
+from repro.bench import bench_config, bench_corpus, caption, render_table
 from repro.core import FormatSelector, build_dataset
 from repro.formats import EXTENSION_FORMATS, FORMAT_NAMES
 from repro.gpu import DEVICES
@@ -26,7 +26,7 @@ def test_extended_format_study(run_once):
         corpus = bench_corpus()
         formats = FORMAT_NAMES + EXTENSION_FORMATS
         ds = build_dataset(
-            corpus, DEVICES["k40c"], "single", formats=formats, seed=bench_seed()
+            corpus, DEVICES["k40c"], "single", formats=formats, seed=bench_config().seed
         ).drop_coo_best()
         dist = Counter(ds.label_names.tolist())
 

@@ -12,7 +12,7 @@ actually be used.
 
 import numpy as np
 
-from repro.bench import bench_seed, caption, render_table
+from repro.bench import bench_config, caption, render_table
 from repro.formats import FORMAT_NAMES
 from repro.gpu import DEVICES, SpMVExecutor
 from repro.matrices import banded, bandwidth, permute, reverse_cuthill_mckee
@@ -21,14 +21,14 @@ from repro.matrices import banded, bandwidth, permute, reverse_cuthill_mckee
 def test_reordering_changes_the_race(run_once):
     def measure():
         # Large enough that x cannot hide in L2 once the order is shuffled.
-        A = banded(250_000, 250_000, bandwidth=9, fill=1.0, seed=bench_seed())
-        rng = np.random.default_rng(bench_seed() + 1)
+        A = banded(250_000, 250_000, bandwidth=9, fill=1.0, seed=bench_config().seed)
+        rng = np.random.default_rng(bench_config().seed + 1)
         p = rng.permutation(A.n_rows)
         shuffled = permute(A, row_perm=p, col_perm=p)
         perm = reverse_cuthill_mckee(shuffled)
         restored = permute(shuffled, row_perm=perm, col_perm=perm)
 
-        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_seed())
+        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_config().seed)
         out = {}
         for name, M in (("original", A), ("shuffled", shuffled), ("rcm", restored)):
             times = {}

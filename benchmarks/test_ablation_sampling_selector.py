@@ -12,7 +12,7 @@ quantifies the trade-off on the shared corpus:
 
 import numpy as np
 
-from repro.bench import bench_corpus, bench_dataset, bench_seed, caption
+from repro.bench import bench_config, bench_corpus, bench_dataset, caption
 from repro.core import FormatSelector, SamplingSelector, tolerant_accuracy
 from repro.gpu import DEVICES, SpMVExecutor
 
@@ -21,7 +21,7 @@ def test_sampling_vs_ml_selector(run_once):
     def measure():
         ds = bench_dataset("k40c", "single").drop_coo_best()
         corpus = {e.name: e for e in bench_corpus()}
-        rng = np.random.default_rng(bench_seed())
+        rng = np.random.default_rng(bench_config().seed)
         idx = rng.permutation(len(ds))
         n_test = min(25, max(1, len(ds) // 5))  # probes are expensive
         test_idx, train_idx = idx[:n_test], idx[n_test:]
@@ -31,7 +31,7 @@ def test_sampling_vs_ml_selector(run_once):
         ml.fit(ds.subset(train_idx))
         acc_ml = tolerant_accuracy(test.times, ml.predict(test), 0.05)
 
-        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_seed() + 1)
+        executor = SpMVExecutor(DEVICES["k40c"], "single", seed=bench_config().seed + 1)
         sampler = SamplingSelector(executor, fraction=0.05, probe_reps=3)
         fmt_index = {f: i for i, f in enumerate(test.formats)}
         picks = []

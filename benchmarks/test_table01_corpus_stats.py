@@ -5,7 +5,7 @@ Paper: 8 nnz bins over ~2300 SuiteSparse matrices; density falls from
 and no clear pattern holds for the row-length standard deviation.
 """
 
-from repro.bench import bench_scale, caption, corpus_statistics, render_table
+from repro.bench import bench_config, caption, corpus_statistics, render_table
 
 
 def test_table01_corpus_statistics(run_once):
@@ -29,7 +29,7 @@ def test_table01_corpus_statistics(run_once):
                 )
                 for r in rows
             ],
-            title=f"(corpus scale = {bench_scale():g})",
+            title=f"(corpus scale = {bench_config().scale:g})",
         )
     )
 

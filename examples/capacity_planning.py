@@ -49,7 +49,7 @@ def main() -> None:
         # Pick (device, format) with the best predicted time.
         best = None
         for dev_name, (pp, formats) in predictors.items():
-            times = pp.predict_times(fv)[0]
+            times = pp.predict(fv)[0]
             k = int(np.argmin(times))
             if best is None or times[k] < best[3]:
                 best = (dev_name, formats[k], k, times[k])

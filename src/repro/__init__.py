@@ -60,6 +60,18 @@ from .formats import (  # noqa: F401
 from .gpu import SpMVExecutor, KEPLER_K40C, PASCAL_P100  # noqa: F401
 from .analysis import MatrixAnalysis, analyze_matrix  # noqa: F401
 
+#: Heavyweight entry points resolved lazily by :func:`__getattr__` —
+#: ``from repro import FormatSelector`` works without ``import repro``
+#: paying for the ML stack.  Maps exported name -> defining submodule.
+_LAZY_EXPORTS = {
+    "FormatSelector": "repro.core.selector",
+    "PerformancePredictor": "repro.core.predictor",
+    "ReproConfig": "repro.config",
+    "SpMVDataset": "repro.core.dataset",
+    "SelectionService": "repro.serve.service",
+    "ModelRegistry": "repro.serve.registry",
+}
+
 __all__ = [
     "__version__",
     "MatrixAnalysis",
@@ -75,4 +87,21 @@ __all__ = [
     "SpMVExecutor",
     "KEPLER_K40C",
     "PASCAL_P100",
+    *sorted(_LAZY_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    """Resolve :data:`_LAZY_EXPORTS` on first access (PEP 562)."""
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,59 @@
+"""Deprecation machinery: warn-once shims for superseded entry points.
+
+Old spellings stay importable and fully functional, but the first call
+of each emits a single :class:`DeprecationWarning` naming the new
+spelling; later calls are silent (one warning per process per shim, so
+a tight loop over a deprecated helper cannot flood the log).  Tests use
+:func:`reset_warning_registry` to re-arm the warnings.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import warnings
+from typing import Callable, Set
+
+__all__ = ["deprecated", "reset_warning_registry", "warn_deprecated"]
+
+_lock = threading.Lock()
+_warned: Set[str] = set()
+
+
+def warn_deprecated(key: str, message: str) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per ``key``."""
+    with _lock:
+        if key in _warned:
+            return
+        _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def deprecated(replacement: str, *, key: str = "") -> Callable:
+    """Mark a callable as a shim for ``replacement``.
+
+    The wrapped function forwards unchanged; ``replacement`` is the new
+    spelling shown in the warning (e.g. ``"ReproConfig.from_env().scale"``).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        warn_key = key or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def shim(*args, **kwargs):
+            warn_deprecated(
+                warn_key,
+                f"{fn.__qualname__}() is deprecated; use {replacement} instead",
+            )
+            return fn(*args, **kwargs)
+
+        shim.__deprecated__ = replacement
+        return shim
+
+    return decorate
+
+
+def reset_warning_registry() -> None:
+    """Re-arm every warn-once shim (test support)."""
+    with _lock:
+        _warned.clear()

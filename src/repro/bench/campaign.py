@@ -21,7 +21,12 @@ IV-B).  :func:`run_campaign` is the engine that runs it:
   instead of aborting the whole campaign;
 * **observable** — a ``progress`` callback receives a
   :class:`CampaignProgress` event after every matrix (done counts,
-  failures, ETA, per-format running mean times).
+  failures, ETA, per-format running mean times), and when
+  :mod:`repro.obs` is enabled the engine reports into the shared
+  telemetry spine: a ``campaign.run`` span (with per-matrix child
+  spans in serial mode), a ``campaign.matrix_seconds`` histogram,
+  ok/failed/cached counters, a worker-utilisation gauge and
+  ``campaign.progress`` events on the attached sink.
 
 :func:`repro.core.dataset.build_dataset` is a thin wrapper over this
 engine, so every consumer of labeled datasets picks it up unchanged.
@@ -40,6 +45,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
+from .. import obs
+from ..config import ReproConfig
 from ..core.labeling import DEFAULT_REPS, label_matrix
 from ..features import ALL_FEATURES
 from ..formats import FORMAT_NAMES
@@ -345,9 +352,13 @@ def _write_shard(shard_dir: Path, result: MatrixResult) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _resolve_workers(workers: Optional[int]) -> int:
+def _resolve_workers(workers: Optional[int],
+                     config: Optional[ReproConfig] = None) -> int:
     if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", str(_DEFAULT_WORKERS)))
+        if config is not None:
+            workers = config.workers
+        else:
+            workers = int(os.environ.get("REPRO_WORKERS", str(_DEFAULT_WORKERS)))
     return max(1, int(workers))
 
 
@@ -364,6 +375,7 @@ def run_campaign(
     shard_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[CampaignProgress], None]] = None,
     timeout_s: Optional[float] = None,
+    config: Optional[ReproConfig] = None,
 ) -> CampaignResult:
     """Run the measurement campaign over ``corpus``.
 
@@ -376,9 +388,10 @@ def run_campaign(
         The campaign configuration, as in
         :func:`~repro.core.dataset.build_dataset`.
     workers:
-        Process-pool width; ``1`` runs inline.  Defaults to the
-        ``REPRO_WORKERS`` environment variable (itself defaulting to 1).
-        Results are bit-identical for any worker count.
+        Process-pool width; ``1`` runs inline.  Defaults to
+        ``config.workers`` when a config is given, else to the
+        ``REPRO_WORKERS`` environment variable (itself defaulting to
+        1).  Results are bit-identical for any worker count.
     shard_dir:
         Directory for per-matrix resume shards; ``None`` disables
         resumability.
@@ -388,6 +401,9 @@ def run_campaign(
     timeout_s:
         Per-matrix soft labeling timeout (POSIX only); a matrix
         exceeding it is recorded as failed.
+    config:
+        Optional :class:`~repro.config.ReproConfig` supplying defaults
+        (currently ``workers``) when the explicit argument is ``None``.
 
     Returns
     -------
@@ -396,7 +412,7 @@ def run_campaign(
     """
     entries = list(corpus)
     noise = noise if noise is not None else NoiseModel()
-    workers = _resolve_workers(workers)
+    workers = _resolve_workers(workers, config)
     formats = tuple(formats)
     shard_path: Optional[Path] = None
     if shard_dir is not None:
@@ -423,6 +439,17 @@ def run_campaign(
             cached += 1
         elif shard_path is not None:
             _write_shard(shard_path, result)
+        if obs.enabled():
+            obs.incr("campaign.matrices_ok" if result.ok
+                     else "campaign.matrices_failed")
+            if result.cached:
+                obs.incr("campaign.shard_hits")
+            else:
+                obs.observe("campaign.matrix_seconds", result.elapsed_s)
+            obs.emit("campaign.progress", {
+                "name": result.name, "done": done, "total": n,
+                "ok": ok, "failed": failed, "cached": cached,
+            })
         if progress is not None:
             elapsed = time.perf_counter() - start
             fresh = done - cached
@@ -445,24 +472,41 @@ def run_campaign(
         return (entries[i], device, precision, formats, reps, noise,
                 derive_matrix_seed(seed, entries[i].name), key, timeout_s)
 
-    # Pass 1: serve finished shards.
-    keys = [
-        shard_key(e, device, precision, formats, reps, seed, noise) for e in entries
-    ]
-    todo: List[int] = []
-    for i, entry in enumerate(entries):
-        hit = _load_shard(shard_path, keys[i], entry.name) if shard_path else None
-        if hit is not None:
-            _finish(i, hit)
-        else:
-            todo.append(i)
+    with obs.span("campaign.run"):
+        # Pass 1: serve finished shards.
+        keys = [
+            shard_key(e, device, precision, formats, reps, seed, noise)
+            for e in entries
+        ]
+        todo: List[int] = []
+        for i, entry in enumerate(entries):
+            hit = _load_shard(shard_path, keys[i], entry.name) if shard_path else None
+            if hit is not None:
+                _finish(i, hit)
+            else:
+                todo.append(i)
 
-    # Pass 2: measure what's missing.
-    if todo and workers == 1:
-        for i in todo:
-            _finish(i, _label_one(_payload(i, keys[i])))
-    elif todo:
-        _run_pool(todo, _payload, keys, workers, _finish, entries)
+        # Pass 2: measure what's missing.
+        if todo and workers == 1:
+            for i in todo:
+                res = _label_one(_payload(i, keys[i]))
+                # Serial labeling happens on this thread, inside the
+                # campaign.run wall time, so the measured duration is a
+                # genuine child span.  (Parallel labeling overlaps — its
+                # durations go to the histogram in _finish instead, which
+                # keeps the parent >= sum-of-children invariant true.)
+                obs.record_span("campaign.matrix", res.elapsed_s)
+                _finish(i, res)
+        elif todo:
+            _run_pool(todo, _payload, keys, workers, _finish, entries)
+
+        if obs.enabled():
+            obs.set_gauge("campaign.workers", workers)
+            wall = time.perf_counter() - start
+            busy = sum(r.elapsed_s for r in results if r is not None and not r.cached)
+            if wall > 0 and done > cached:
+                obs.set_gauge("campaign.worker_utilisation",
+                              min(1.0, busy / (wall * workers)))
 
     return CampaignResult(
         results=[r for r in results if r is not None],

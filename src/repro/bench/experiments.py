@@ -31,7 +31,7 @@ from ..formats import FORMAT_NAMES
 from ..gpu import DEVICES, SpMVExecutor
 from ..matrices import power_law, table1_statistics
 from ..ml import KFold
-from .runner import CONFIGS, bench_corpus, bench_dataset, bench_seed
+from .runner import CONFIGS, bench_config, bench_corpus, bench_dataset
 
 __all__ = [
     "MODELS",
@@ -89,7 +89,7 @@ def twin_matrices(seed: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """
     from ..matrices import clustered
 
-    seed = bench_seed() if seed is None else seed
+    seed = bench_config().seed if seed is None else seed
     n, nnz = 150_000, 1_500_000
     local = clustered(n, n, nnz=nnz, chunk=16, seed=seed)
     scattered = power_law(n, n, nnz=nnz, alpha=1.7, seed=seed + 1)
@@ -115,7 +115,7 @@ def format_gflops_sweep(n_matrices: int = 12) -> Dict[str, Dict[str, float]]:
     """
     corpus = bench_corpus()
     step = max(1, len(corpus.entries) // n_matrices)
-    ex = SpMVExecutor(DEVICES["k80c"], "single", seed=bench_seed())
+    ex = SpMVExecutor(DEVICES["k80c"], "single", seed=bench_config().seed)
     out: Dict[str, Dict[str, float]] = {}
     for entry in corpus.entries[::step][:n_matrices]:
         matrix = entry.build()
@@ -146,7 +146,7 @@ def classification_accuracy(
     seed: Optional[int] = None,
 ) -> float:
     """Cross-validated best-format accuracy for one configuration."""
-    seed = bench_seed() if seed is None else seed
+    seed = bench_config().seed if seed is None else seed
     ds = _study_dataset(device_key, precision, formats)
     folds = min(cv, len(ds))
     accs = []
@@ -212,7 +212,7 @@ def feature_importance(
 ) -> List[Tuple[str, int]]:
     """Figs. 4-5: XGBoost F-score ranking of the 17 features."""
     ds = _study_dataset(device_key, precision, FORMAT_NAMES)
-    return feature_importance_ranking(ds, seed=bench_seed())
+    return feature_importance_ranking(ds, seed=bench_config().seed)
 
 
 # ---------------------------------------------------------------------------
@@ -234,7 +234,7 @@ def slowdown_analysis(
     Trains on an 80/20 split of the P100/double study (the paper's
     choice) and buckets the misprediction penalties.
     """
-    seed = bench_seed() if seed is None else seed
+    seed = bench_config().seed if seed is None else seed
     ds = _study_dataset(device_key, precision, FORMAT_NAMES)
     rng = np.random.default_rng(seed)
     idx = rng.permutation(len(ds))
@@ -269,7 +269,7 @@ def regression_rme_by_feature_set(
     seed: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 6: overall RME of MLP vs MLP-ensemble per feature set."""
-    seed = bench_seed() if seed is None else seed
+    seed = bench_config().seed if seed is None else seed
     train, test = _regression_split(device_key, precision, seed)
     out: Dict[str, Dict[str, float]] = {}
     for fs in feature_sets:
@@ -290,7 +290,7 @@ def regression_rme_per_format(
     seed: Optional[int] = None,
 ) -> Dict[str, float]:
     """Fig. 7: per-format RME of the MLP-ensemble regressor."""
-    seed = bench_seed() if seed is None else seed
+    seed = bench_config().seed if seed is None else seed
     train, test = _regression_split(device_key, precision, seed)
     pp = PerformancePredictor("mlp_ensemble", feature_set=feature_set, mode="per_format")
     pp.fit(train)
@@ -304,7 +304,7 @@ def indirect_vs_direct(
     seed: Optional[int] = None,
 ) -> Dict[Tuple[str, str], Dict[str, float]]:
     """Table XIV: XGBoost direct vs MLP-ensemble indirect classification."""
-    seed = bench_seed() if seed is None else seed
+    seed = bench_config().seed if seed is None else seed
     out: Dict[Tuple[str, str], Dict[str, float]] = {}
     for dev, prec in configs:
         train, test = _regression_split(dev, prec, seed)

@@ -19,6 +19,8 @@ leave a tracked trail:
   latency of :mod:`repro.serve`, both through the in-process
   :class:`~repro.serve.service.SelectionService` API and through the
   JSON-lines daemon path the ``repro-spmv serve --daemon`` CLI runs.
+* **obs overhead** — the :mod:`repro.obs` telemetry spine's cost, both
+  the disabled fast path (the repo's ≤2% guard) and full tracing.
 * **campaign end-to-end** — wall time of a tiny measurement campaign,
   the integration number everything above feeds.
 
@@ -238,6 +240,74 @@ def _bench_serving(ds, matrices: Sequence, quick: bool) -> Dict:
     }
 
 
+def _bench_obs_overhead(X: np.ndarray, y: np.ndarray, quick: bool,
+                        repeats: int) -> Dict:
+    """Cost of the telemetry spine, disabled (the default) and enabled.
+
+    Two views:
+
+    * **primitive cost** — a tight loop over the three instrumentation
+      shapes the hot paths use (``with obs.span(...)``, ``incr``,
+      ``observe``), timed with obs disabled and enabled;
+    * **workload cost** — an instrumented real fit (gradient boosting,
+      which carries per-round obs calls) timed both ways, plus a
+      conservative estimate of what the *disabled* checks cost it:
+      every per-round site billed at the full disabled-primitive price.
+
+    ``disabled_overhead_pct`` is the repo's ≤2% guard number.
+    """
+    from .. import obs
+    from ..ml import GradientBoostingClassifier
+
+    obs.disable(reset=True)
+    n_calls = 50_000 if quick else 200_000
+
+    def primitives() -> None:
+        for _ in range(n_calls):
+            with obs.span("bench.noop"):
+                pass
+            obs.incr("bench.counter")
+            obs.observe("bench.hist", 1e-3)
+
+    disabled_s = _best_of(primitives, repeats)
+    obs.enable()
+    try:
+        enabled_s = _best_of(primitives, repeats)
+    finally:
+        obs.disable(reset=True)
+
+    n_estimators = 8 if quick else 40
+
+    def fit() -> None:
+        GradientBoostingClassifier(n_estimators=n_estimators, max_depth=6).fit(X, y)
+
+    fit_disabled = _best_of(fit, repeats)
+    obs.enable()
+    try:
+        fit_enabled = _best_of(fit, repeats)
+    finally:
+        obs.disable(reset=True)
+
+    sites = 3 * n_calls
+    disabled_ns = 1e9 * disabled_s / sites
+    # One boosting round per (estimator, class); each round holds the
+    # instrumented sites.  Bill every round three disabled primitives —
+    # an overestimate (the fit hoists the enabled() check), so the guard
+    # number is an upper bound on real disabled overhead.
+    rounds = n_estimators * len(np.unique(y))
+    disabled_overhead_pct = 100.0 * (rounds * 3 * disabled_ns * 1e-9) / fit_disabled
+    return {
+        "n_primitive_calls": sites,
+        "disabled_ns_per_site": disabled_ns,
+        "enabled_ns_per_site": 1e9 * enabled_s / sites,
+        "fit_disabled_s": fit_disabled,
+        "fit_enabled_s": fit_enabled,
+        "enabled_overhead_pct": 100.0 * max(0.0, fit_enabled - fit_disabled)
+        / fit_disabled,
+        "disabled_overhead_pct": disabled_overhead_pct,
+    }
+
+
 def _bench_campaign(scale: float, max_nnz: int, device) -> Dict:
     """Wall time of one tiny end-to-end measurement campaign."""
     from .campaign import run_campaign
@@ -305,6 +375,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
         X, y, n_estimators=8 if quick else 40, repeats=repeats
     )
     sections["serving"] = _bench_serving(ds, matrices, quick)
+    sections["obs_overhead"] = _bench_obs_overhead(X, y, quick, repeats)
     sections["campaign_e2e"] = _bench_campaign(
         0.005 if quick else 0.02, max_nnz, device
     )
@@ -341,6 +412,13 @@ def _render(report: Dict) -> str:
                 before = f"{sec['before_s']:.3f} s"
                 after = f"{sec['after_s']:.3f} s"
             rows.append((name, before, after, f"{sec['speedup']:.2f}x"))
+        elif "disabled_overhead_pct" in sec:
+            rows.append((
+                name,
+                f"off {sec['disabled_overhead_pct']:.3f}%",
+                f"on {sec['enabled_overhead_pct']:.1f}%",
+                f"{sec['disabled_ns_per_site']:.0f} ns",
+            ))
         else:
             rows.append((name, "-", f"{sec['wall_s']:.3f} s", "-"))
     widths = [max(len(str(r[i])) for r in rows + [("section", "before", "after", "speedup")])

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 from ..features import IMP_FEATURES
 from ..formats import FORMAT_NAMES
 from . import experiments as E
-from .runner import CONFIGS, bench_max_nnz, bench_scale, bench_seed
+from .runner import CONFIGS, bench_config
 
 __all__ = ["generate_report", "main"]
 
@@ -103,12 +103,13 @@ def generate_report(cv: int = 3, *, stream=None) -> str:
     """Run every experiment and return the EXPERIMENTS.md text."""
     log = stream or sys.stderr
     parts: List[str] = []
-    scale = bench_scale()
+    cfg = bench_config()
+    scale = cfg.scale
     parts.append(f"""# EXPERIMENTS — paper vs. measured
 
 Generated by ``python -m repro.bench.report`` at corpus scale
 **{scale:g}** (~{int(2290 * scale)} matrices; the paper uses ~2300),
-``max_nnz = {bench_max_nnz():,}``, seed {bench_seed()}, {cv}-fold CV.
+``max_nnz = {cfg.max_nnz:,}``, seed {cfg.seed}, {cv}-fold CV.
 Ground truth comes from the GPU execution simulator (see DESIGN.md and
 docs/MODELING.md) — absolute numbers are not expected to match the
 paper's testbeds; the comparison targets are *who wins, by roughly what

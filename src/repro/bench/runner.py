@@ -3,40 +3,33 @@
 Every table/figure bench needs the same expensive artefact: a labeled
 dataset per (device, precision).  This module owns that lifecycle:
 
-* experiment scale is configured by environment variables so the same
-  bench files run in CI minutes or at full paper scale:
-
-  - ``REPRO_SCALE``   — corpus fraction of the ~2300-matrix collection
-    (default ``0.1``; the paper is ``1.0``),
-  - ``REPRO_MAX_NNZ`` — per-matrix nnz cap (default ``2_000_000``),
-  - ``REPRO_SEED``    — master seed (default ``0``),
-  - ``REPRO_REPS``    — repetitions per (matrix, format) (default 50,
-    the paper's protocol),
-  - ``REPRO_WORKERS`` — measurement-campaign worker processes
-    (default ``1``; results are bit-identical for any count),
-  - ``REPRO_CACHE``   — dataset cache directory (default
-    ``.repro_cache`` under the current directory; per-matrix resume
-    shards live in a ``shards/`` subdirectory);
+* experiment scale is configured through :class:`repro.config.ReproConfig`
+  — the single resolution point of the ``REPRO_*`` environment
+  variables (``REPRO_SCALE``, ``REPRO_MAX_NNZ``, ``REPRO_SEED``,
+  ``REPRO_REPS``, ``REPRO_WORKERS``, ``REPRO_CACHE``; see
+  :mod:`repro.config` for meanings and defaults), so the same bench
+  files run in CI minutes or at full paper scale;
 
 * datasets are built once per process and cached both in memory and on
   disk (``.npz``), exactly as the paper reuses one measurement campaign
-  for all its tables.  The in-memory cache is keyed on the *resolved*
-  environment configuration (:func:`bench_config`), so changing
-  ``REPRO_SCALE``/``REPRO_MAX_NNZ``/``REPRO_SEED``/… mid-process
-  transparently builds (or loads) the right dataset instead of serving
-  a stale one.
+  for all its tables.  The in-memory cache is keyed on the *config
+  object* (:func:`bench_config` / the ``config=`` argument), so
+  changing the environment mid-process transparently builds (or loads)
+  the right dataset instead of serving a stale one.
+
+Every entry point takes an optional ``config=`` argument defaulting to
+``ReproConfig.from_env()``; the historical per-field readers
+(``bench_scale`` …) survive as deprecation shims.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
 from functools import lru_cache
-from pathlib import Path
-from typing import Tuple
+from typing import Optional, Tuple
 
+from .._compat import deprecated
+from ..config import ReproConfig
 from ..core import SpMVDataset, build_dataset
-from ..core.labeling import DEFAULT_REPS
 from ..gpu import DEVICES, DeviceSpec
 from ..matrices import SyntheticCorpus
 
@@ -61,56 +54,42 @@ CONFIGS: Tuple[Tuple[str, str], ...] = (
     ("p100", "double"),
 )
 
-
-@dataclass(frozen=True)
-class BenchConfig:
-    """Resolved snapshot of the ``REPRO_*`` environment configuration.
-
-    Hashable, so the process-level corpus/dataset caches can key on it —
-    a mid-process environment change yields a different config and thus
-    a fresh cache entry rather than silently stale data.
-    """
-
-    scale: float
-    max_nnz: int
-    seed: int
-    reps: int
-    workers: int
-    cache_dir: str
+#: Historical name of the resolved-environment snapshot; the unified
+#: :class:`repro.config.ReproConfig` replaced it (same fields, same
+#: hashability) and the alias keeps old imports working.
+BenchConfig = ReproConfig
 
 
-def bench_config() -> BenchConfig:
-    """Read the ``REPRO_*`` environment into an explicit config object."""
-    return BenchConfig(
-        scale=float(os.environ.get("REPRO_SCALE", "0.1")),
-        max_nnz=int(float(os.environ.get("REPRO_MAX_NNZ", "2000000"))),
-        seed=int(os.environ.get("REPRO_SEED", "0")),
-        reps=int(os.environ.get("REPRO_REPS", str(DEFAULT_REPS))),
-        workers=int(os.environ.get("REPRO_WORKERS", "1")),
-        cache_dir=os.environ.get("REPRO_CACHE", ".repro_cache"),
-    )
+def bench_config() -> ReproConfig:
+    """Resolve the ``REPRO_*`` environment into a :class:`ReproConfig`."""
+    return ReproConfig.from_env()
 
 
+@deprecated("ReproConfig.from_env().scale")
 def bench_scale() -> float:
     """Corpus scale for benches (env ``REPRO_SCALE``, default 0.1)."""
     return bench_config().scale
 
 
+@deprecated("ReproConfig.from_env().max_nnz")
 def bench_max_nnz() -> int:
     """Per-matrix nnz cap (env ``REPRO_MAX_NNZ``, default 2e6)."""
     return bench_config().max_nnz
 
 
+@deprecated("ReproConfig.from_env().seed")
 def bench_seed() -> int:
     """Master seed (env ``REPRO_SEED``, default 0)."""
     return bench_config().seed
 
 
+@deprecated("ReproConfig.from_env().reps")
 def bench_reps() -> int:
     """Repetitions per (matrix, format) (env ``REPRO_REPS``, default 50)."""
     return bench_config().reps
 
 
+@deprecated("ReproConfig.from_env().workers")
 def bench_workers() -> int:
     """Campaign worker processes (env ``REPRO_WORKERS``, default 1)."""
     return bench_config().workers
@@ -121,35 +100,35 @@ def _corpus_for(scale: float, seed: int, max_nnz: int) -> SyntheticCorpus:
     return SyntheticCorpus(scale=scale, seed=seed, max_nnz=max_nnz)
 
 
-def bench_corpus() -> SyntheticCorpus:
+def bench_corpus(config: Optional[ReproConfig] = None) -> SyntheticCorpus:
     """The benchmark corpus at the configured scale (process-cached)."""
-    cfg = bench_config()
+    cfg = config if config is not None else bench_config()
     return _corpus_for(cfg.scale, cfg.seed, cfg.max_nnz)
 
 
 @lru_cache(maxsize=8)
-def _dataset_for(cfg: BenchConfig, device_key: str, precision: str) -> SpMVDataset:
+def _dataset_for(cfg: ReproConfig, device_key: str, precision: str) -> SpMVDataset:
     device: DeviceSpec = DEVICES[device_key]
-    tag = (
-        f"{device_key}_{precision}_s{cfg.scale:g}_m{cfg.max_nnz}"
-        f"_r{cfg.seed}_n{cfg.reps}.npz"
-    )
-    cache_dir = Path(cfg.cache_dir)
     return build_dataset(
         _corpus_for(cfg.scale, cfg.seed, cfg.max_nnz),
         device,
         precision,
         reps=cfg.reps,
         seed=cfg.seed,
-        cache_path=cache_dir / tag,
+        cache_path=cfg.cache_path / cfg.dataset_tag(device_key, precision),
         workers=cfg.workers,
-        shard_dir=cache_dir / "shards",
+        shard_dir=cfg.shard_dir,
     )
 
 
-def bench_dataset(device_key: str = "k40c", precision: str = "single") -> SpMVDataset:
+def bench_dataset(
+    device_key: str = "k40c",
+    precision: str = "single",
+    config: Optional[ReproConfig] = None,
+) -> SpMVDataset:
     """Labeled dataset for one configuration (memory + disk cached)."""
-    return _dataset_for(bench_config(), device_key, precision)
+    cfg = config if config is not None else bench_config()
+    return _dataset_for(cfg, device_key, precision)
 
 
 # The pre-refactor functions were lru_cached directly and the test suite

@@ -20,8 +20,16 @@ Subcommands cover the full workflow a downstream user needs:
 * ``serve``    — load registry models and serve format decisions:
   one-shot over ``.mtx`` files or a JSON-lines stdin/stdout daemon.
 * ``perf``     — run the tracked performance benchmarks (one-pass
-  analysis, presorted tree/boosting fits, serving latency) and write
-  ``BENCH_<date>.json``.
+  analysis, presorted tree/boosting fits, serving latency, obs
+  overhead) and write ``BENCH_<date>.json``.
+* ``obs``      — pretty-print (and ``--check`` validate) observability
+  snapshot files written by ``--metrics-out`` or a daemon's
+  ``snapshot_every`` flight recorder.
+
+Two root-level flags (they go *before* the subcommand) switch on the
+:mod:`repro.obs` telemetry spine for any command: ``--trace`` prints
+the span/metric tables to stderr at exit, and ``--metrics-out PATH``
+writes the full JSON snapshot for ``repro-spmv obs`` to read back.
 
 Every command is importable (``from repro.cli import main``) and returns
 a process exit code, so the test suite drives it in-process.
@@ -47,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-spmv",
         description="ML-based SpMV format selection & performance modeling "
         "(reproduction of Nisa et al., 2018)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable repro.obs tracing and print the span/metric tables "
+        "to stderr when the command finishes",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="enable repro.obs and write the JSON observability snapshot "
+        "to PATH when the command finishes (read it back with "
+        "'repro-spmv obs')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -174,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve JSON-lines requests from stdin")
     p.add_argument("--stats", action="store_true",
                    help="print the telemetry snapshot when done")
+    p.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                   help="daemon mode: emit a full observability snapshot to "
+                   "the obs event sink every N served requests")
     p.add_argument("files", nargs="*", type=Path, help=".mtx files (one-shot mode)")
 
     p = sub.add_parser(
@@ -187,6 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds-long smoke run (same code paths, small samples)")
     p.add_argument("--out", type=Path, default=None,
                    help="output JSON path (default: ./BENCH_<date>.json)")
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect observability snapshot files",
+        description="Pretty-print snapshots written by --metrics-out (a "
+        "single JSON object) or by a daemon's snapshot_every flight "
+        "recorder (JSON-lines; the last snapshot event is used).  With "
+        "--check, validate the structural invariants instead and exit "
+        "non-zero on any violation.",
+    )
+    p.add_argument("files", nargs="+", type=Path, help="snapshot .json/.jsonl files")
+    p.add_argument("--check", action="store_true",
+                   help="validate invariants (parent span time >= sum of "
+                   "children, histogram counts consistent) and report")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="re-emit the parsed snapshot as canonical JSON "
+                   "instead of tables")
     return parser
 
 
@@ -481,7 +520,10 @@ def _cmd_serve(args) -> int:
         return 1
 
     if args.daemon:
-        served = serve_jsonl(service, sys.stdin, sys.stdout)
+        served = serve_jsonl(
+            service, sys.stdin, sys.stdout,
+            snapshot_every=args.snapshot_every,
+        )
         if args.stats:
             print(json.dumps(service.stats(), indent=2), file=sys.stderr)
         return 0
@@ -513,6 +555,72 @@ def _cmd_perf(args) -> int:
     return perf_main(argv)
 
 
+def _load_snapshot(path: Path) -> dict:
+    """Read one snapshot from a ``--metrics-out`` JSON file or a
+    JSON-lines event stream (last snapshot-carrying event wins)."""
+    from .obs.export import SNAPSHOT_SCHEMA
+
+    text = path.read_text()
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict):
+        if doc.get("schema") == SNAPSHOT_SCHEMA:
+            return doc
+        payload = doc.get("payload")
+        if isinstance(payload, dict) and payload.get("schema") == SNAPSHOT_SCHEMA:
+            return payload
+        raise ValueError(f"{path} is JSON but not an obs snapshot")
+    # JSON-lines: scan for the newest embedded snapshot.
+    found = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        for candidate in (event, event.get("payload")):
+            if (isinstance(candidate, dict)
+                    and candidate.get("schema") == SNAPSHOT_SCHEMA):
+                found = candidate
+    if found is None:
+        raise ValueError(f"no obs snapshot found in {path}")
+    return found
+
+
+def _cmd_obs(args) -> int:
+    from .obs.export import check_snapshot, render_snapshot
+
+    status = 0
+    for path in args.files:
+        try:
+            snap = _load_snapshot(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if len(args.files) > 1:
+            print(f"== {path}")
+        if args.check:
+            problems = check_snapshot(snap)
+            if problems:
+                status = 1
+                for problem in problems:
+                    print(f"{path}: {problem}")
+            else:
+                print(f"{path}: ok")
+        elif args.as_json:
+            print(json.dumps(snap, indent=2, sort_keys=True))
+        else:
+            print(render_snapshot(snap))
+    return status
+
+
 _COMMANDS = {
     "corpus": _cmd_corpus,
     "features": _cmd_features,
@@ -524,12 +632,18 @@ _COMMANDS = {
     "registry": _cmd_registry,
     "serve": _cmd_serve,
     "perf": _cmd_perf,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    observing = args.trace or args.metrics_out is not None
+    if observing:
+        from . import obs
+
+        obs.enable()
     try:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:
@@ -541,6 +655,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             pass
         sys.stdout = open(os.devnull, "w")
         return 0
+    finally:
+        if observing:
+            from . import obs
+            from .obs.export import render_snapshot
+
+            snap = obs.snapshot()
+            if args.metrics_out is not None:
+                args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+                args.metrics_out.write_text(
+                    json.dumps(snap, indent=2, sort_keys=True) + "\n"
+                )
+            if args.trace:
+                print(render_snapshot(snap), file=sys.stderr)
+            obs.disable(reset=True)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..config import ReproConfig
 from ..features import ALL_FEATURES, FEATURE_SETS
 from ..formats import FORMAT_NAMES
 from ..gpu import DeviceSpec, NoiseModel
@@ -194,12 +195,14 @@ def build_dataset(
     workers: Optional[int] = None,
     shard_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable] = None,
+    config: Optional[ReproConfig] = None,
 ) -> SpMVDataset:
     """Label a whole corpus on one simulated device/precision.
 
     Thin wrapper over the measurement-campaign engine
     (:func:`repro.bench.campaign.run_campaign`): the per-matrix labeling
-    loop fans out over ``workers`` processes (default: the
+    loop fans out over ``workers`` processes (default: ``config.workers``
+    when a :class:`~repro.config.ReproConfig` is given, else the
     ``REPRO_WORKERS`` environment variable, falling back to serial),
     per-matrix failures are recorded and skipped, and ``shard_dir``
     makes interrupted campaigns resumable.  Results are bit-identical
@@ -236,6 +239,7 @@ def build_dataset(
         workers=workers,
         shard_dir=shard_dir,
         progress=progress,
+        config=config,
     )
     ds = result.to_dataset()
     if cache_path is not None:

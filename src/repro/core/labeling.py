@@ -20,10 +20,9 @@ from ..features import extract_features
 from ..formats import FORMAT_NAMES, SparseFormat
 from ..gpu import MatrixProfile, SpMVExecutor, TimingSample
 
-__all__ = ["MatrixLabel", "label_matrix", "DEFAULT_REPS"]
+from ..config import DEFAULT_REPS  # noqa: F401  (canonical home: repro.config)
 
-#: The paper's repetition count.
-DEFAULT_REPS = 50
+__all__ = ["MatrixLabel", "label_matrix", "DEFAULT_REPS"]
 
 
 @dataclass(frozen=True)

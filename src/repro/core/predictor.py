@@ -18,6 +18,7 @@ from typing import Dict, Sequence, Union
 
 import numpy as np
 
+from .._compat import deprecated
 from ..ml import (
     BaseEstimator,
     DecisionTreeRegressor,
@@ -174,7 +175,7 @@ class PerformancePredictor:
 
     # -- prediction -----------------------------------------------------------------
 
-    def predict_times(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
+    def predict(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
         """Predicted execution seconds, shape ``(n_samples, n_formats)``.
 
         A single 1-D feature vector is treated as a one-row batch.
@@ -192,26 +193,64 @@ class PerformancePredictor:
                 out[:, k] = np.exp(self.models_[fmt].predict(X))
         return out
 
+    @deprecated("PerformancePredictor.predict")
+    def predict_times(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict`."""
+        return self.predict(data)
+
     def predict_best(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
         """Format index with minimum *predicted* time per sample."""
-        return np.argmin(self.predict_times(data), axis=1)
+        return np.argmin(self.predict(data), axis=1)
 
     # -- evaluation ---------------------------------------------------------------------
 
     def rme(self, data: SpMVDataset) -> float:
         """Overall RME across every (matrix, format) pair (Sec. VI-A)."""
-        pred = self.predict_times(data).ravel()
+        pred = self.predict(data).ravel()
         meas = np.maximum(data.times, _TIME_FLOOR).ravel()
         return relative_mean_error(meas, pred)
 
     def rme_per_format(self, data: SpMVDataset) -> Dict[str, float]:
         """RME of each format separately (Sec. VI-B / Fig. 7)."""
-        pred = self.predict_times(data)
+        pred = self.predict(data)
         meas = np.maximum(data.times, _TIME_FLOOR)
         return {
             fmt: relative_mean_error(meas[:, k], pred[:, k])
             for k, fmt in enumerate(self.formats_)
         }
+
+    # -- the stable estimator surface --------------------------------------
+
+    def get_params(self) -> dict:
+        """Constructor arguments as a dict (the estimator protocol)."""
+        return {
+            "model": self.model_name,
+            "feature_set": self.feature_set,
+            "mode": self.mode,
+        }
+
+    def save(self, path) -> None:
+        """Serialise this fitted predictor to one ``.npz`` artifact.
+
+        Same payload shape as the versioned model registry
+        (:mod:`repro.serve.registry`) minus the metadata sidecar;
+        :meth:`load` reads it back bit-identically.
+        """
+        from ..ml.serialize import save_payload
+
+        save_payload({"kind": "predictor", "wrapper": self.get_state()}, path)
+
+    @classmethod
+    def load(cls, path) -> "PerformancePredictor":
+        """Load a predictor saved by :meth:`save`."""
+        from ..ml.serialize import SerializationError, load_payload
+
+        payload = load_payload(path)
+        if not isinstance(payload, dict) or payload.get("kind") != "predictor":
+            raise SerializationError(
+                f"artifact {path} does not hold a PerformancePredictor"
+            )
+        return cls.from_state(payload["wrapper"])
 
     # -- persistence (model-registry support) ------------------------------
 

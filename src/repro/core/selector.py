@@ -219,6 +219,35 @@ class FormatSelector:
             raise ValueError("y is required when scoring on a raw array")
         return accuracy_score(np.asarray(y), self.predict(data))
 
+    # -- the stable estimator surface --------------------------------------
+
+    def get_params(self) -> dict:
+        """Constructor arguments as a dict (the estimator protocol)."""
+        return {"model": self.model_name, "feature_set": self.feature_set}
+
+    def save(self, path) -> None:
+        """Serialise this fitted selector to one ``.npz`` artifact.
+
+        The payload format matches what the versioned model registry
+        (:mod:`repro.serve.registry`) stores, minus the metadata
+        sidecar; :meth:`load` reads it back bit-identically.
+        """
+        from ..ml.serialize import save_payload
+
+        save_payload({"kind": "selector", "wrapper": self.get_state()}, path)
+
+    @classmethod
+    def load(cls, path) -> "FormatSelector":
+        """Load a selector saved by :meth:`save`."""
+        from ..ml.serialize import SerializationError, load_payload
+
+        payload = load_payload(path)
+        if not isinstance(payload, dict) or payload.get("kind") != "selector":
+            raise SerializationError(
+                f"artifact {path} does not hold a FormatSelector"
+            )
+        return cls.from_state(payload["wrapper"])
+
     # -- persistence (model-registry support) -----------------------------
 
     def get_state(self) -> dict:

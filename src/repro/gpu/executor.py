@@ -28,6 +28,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..formats import FORMAT_NAMES, SparseFormat, as_format
 from .cache import LRUCache
 from .device import DeviceSpec
@@ -144,7 +145,11 @@ class SpMVExecutor:
         from ..analysis import analyze_matrix
 
         analysis = analyze_matrix(matrix)
-        return self._analysis_cache.setdefault(analysis.profile.digest, analysis)
+        cached = self._analysis_cache.setdefault(analysis.profile.digest, analysis)
+        if obs.enabled():
+            obs.incr("gpu.analysis_cache_hits" if cached is not analysis
+                     else "gpu.analysis_cache_misses")
+        return cached
 
     def profile(self, matrix: Union[SparseFormat, MatrixProfile]) -> MatrixProfile:
         """Profile ``matrix`` (cached by structure digest)."""
@@ -223,6 +228,11 @@ class SpMVExecutor:
         )
         runs = base.seconds * fixed * self.noise.run_factors(self.rng, reps)
         mean = float(runs.mean())
+        if obs.enabled():
+            # Per-format kernel-model time distribution: what the
+            # simulated device reported, not how long simulating took.
+            obs.incr("gpu.benchmarks")
+            obs.observe(f"gpu.model_seconds.{fmt}", mean)
         return TimingSample(
             fmt=fmt,
             device=self.device.name,
@@ -282,10 +292,14 @@ class SpMVExecutor:
         hit = self._format_cache.get(key)
         if hit is not None and hit[0] is matrix:
             A = hit[1]
+            if obs.enabled():
+                obs.incr("gpu.format_cache_hits")
         else:
             coo = matrix.to_coo().astype(dtype)
             A = as_format(coo, fmt)
             self._format_cache.put(key, (matrix, A))
+            if obs.enabled():
+                obs.incr("gpu.format_cache_misses")
         if x is None:
             x = np.ones(matrix.n_cols, dtype=dtype)
         y = A.spmv(np.asarray(x, dtype=dtype))

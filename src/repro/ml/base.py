@@ -119,6 +119,36 @@ class BaseEstimator:
                     "call fit() first"
                 )
 
+    # -- persistence (the stable estimator surface) ------------------------
+
+    def save(self, path) -> None:
+        """Serialise this estimator to one ``.npz`` artifact.
+
+        Pure-numpy persistence via :mod:`repro.ml.serialize` — no
+        pickling, bit-identical round-trips.
+        """
+        from .serialize import save_estimator
+
+        save_estimator(self, path)
+
+    @classmethod
+    def load(cls, path) -> "BaseEstimator":
+        """Load an estimator saved by :meth:`save`.
+
+        Called on a concrete class, the artifact must contain exactly
+        that class; called on :class:`BaseEstimator`, any estimator
+        artifact loads.
+        """
+        from .serialize import SerializationError, load_estimator
+
+        est = load_estimator(path)
+        if cls is not BaseEstimator and not isinstance(est, cls):
+            raise SerializationError(
+                f"artifact {path} holds a {type(est).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return est
+
 
 def clone(estimator: BaseEstimator) -> BaseEstimator:
     """A fresh, unfitted estimator with identical hyper-parameters."""

@@ -33,10 +33,13 @@ Feature importance is reported both ways XGBoost does:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
+
+from .. import obs
 
 from .base import BaseEstimator, check_X, check_X_y
 
@@ -296,7 +299,10 @@ class GradientBoostingRegressor(_BaseBooster):
         self._fscore_acc = np.zeros(X.shape[1], dtype=np.int64)
         pred = np.full(y.shape, self.base_score_)
         root_sorted = self._root_sort(X)
+        track = obs.enabled()
+        fit_start = time.perf_counter() if track else 0.0
         for _ in range(self.n_estimators):
+            round_start = time.perf_counter() if track else 0.0
             idx = self._subsample_idx(y.size, rng)
             g = pred[idx] - y[idx]
             h = np.ones_like(g)
@@ -307,6 +313,12 @@ class GradientBoostingRegressor(_BaseBooster):
             self.trees_.append(tree)
             self._accumulate_importance(tree)
             pred += self.learning_rate * tree.predict(X)
+            if track:
+                obs.incr("ml.boosting.rounds")
+                obs.observe("ml.boosting.round_seconds",
+                            time.perf_counter() - round_start)
+        if track:
+            obs.record_span("ml.boosting.fit", time.perf_counter() - fit_start)
         self._finalise_importance()
         return self
 
@@ -339,7 +351,10 @@ class GradientBoostingClassifier(_BaseBooster):
         self._gain_acc = np.zeros(X.shape[1])
         self._fscore_acc = np.zeros(X.shape[1], dtype=np.int64)
         root_sorted = self._root_sort(X)
+        track = obs.enabled()
+        fit_start = time.perf_counter() if track else 0.0
         for _ in range(self.n_estimators):
+            round_start = time.perf_counter() if track else 0.0
             # Softmax probabilities of the current margins.
             m = margins - margins.max(axis=1, keepdims=True)
             e = np.exp(m)
@@ -357,6 +372,12 @@ class GradientBoostingClassifier(_BaseBooster):
                 self._accumulate_importance(tree)
                 margins[:, k] += self.learning_rate * tree.predict(X)
             self.trees_.append(round_trees)
+            if track:
+                obs.incr("ml.boosting.rounds")
+                obs.observe("ml.boosting.round_seconds",
+                            time.perf_counter() - round_start)
+        if track:
+            obs.record_span("ml.boosting.fit", time.perf_counter() - fit_start)
         self._finalise_importance()
         return self
 

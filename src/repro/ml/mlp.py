@@ -14,10 +14,12 @@ implementation:
 
 from __future__ import annotations
 
+import time
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .base import BaseEstimator, check_X, check_X_y
 
 __all__ = [
@@ -115,7 +117,12 @@ class _BaseMLP(BaseEstimator):
         shapes = [w.shape for w in self.weights_] + [b.shape for b in self.biases_]
         adam = _AdamState(shapes)
         n_layers = len(self.weights_)
+        # Per-iteration fit timing on the shared telemetry spine; read
+        # the enabled flag once so the epoch loop stays a single branch.
+        track = obs.enabled()
+        fit_start = time.perf_counter() if track else 0.0
         for _ in range(self.n_epochs):
+            epoch_start = time.perf_counter() if track else 0.0
             order = rng.permutation(n)
             for start in range(0, n, self.batch_size):
                 idx = order[start : start + self.batch_size]
@@ -133,6 +140,12 @@ class _BaseMLP(BaseEstimator):
                     grads_w + grads_b,
                     self.learning_rate,
                 )
+            if track:
+                obs.incr("ml.mlp.epochs")
+                obs.observe("ml.mlp.epoch_seconds",
+                            time.perf_counter() - epoch_start)
+        if track:
+            obs.record_span("ml.mlp.fit", time.perf_counter() - fit_start)
 
     def _raw_output(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("weights_")

@@ -34,6 +34,8 @@ __all__ = [
     "decode_estimator",
     "save_estimator",
     "load_estimator",
+    "save_payload",
+    "load_payload",
 ]
 
 #: Schema tag written into every artifact; bumped on layout changes.
@@ -331,19 +333,13 @@ def decode_estimator(structure: Any, arrays: Dict[str, np.ndarray]):
     return _Decoder(arrays).decode_estimator(structure)
 
 
-def save_estimator(est, path) -> None:
-    """Serialise a fitted estimator to one ``.npz`` artifact."""
-    structure, arrays = encode_estimator(est)
-    header = json.dumps({"schema": STATE_SCHEMA, "root": structure})
+def _write_npz(path, structure: Any, arrays: Dict[str, np.ndarray],
+               schema: str) -> None:
+    header = json.dumps({"schema": schema, "root": structure})
     np.savez_compressed(path, __state__=np.array(header), **arrays)
 
 
-def load_estimator(path):
-    """Load an estimator saved by :func:`save_estimator`.
-
-    Raises :class:`SerializationError` on schema mismatches or corrupt
-    payloads; never unpickles.
-    """
+def _read_npz(path, schema: str) -> Tuple[Any, Dict[str, np.ndarray]]:
     try:
         with np.load(path, allow_pickle=False) as z:
             header = json.loads(str(z["__state__"][()]))
@@ -352,9 +348,48 @@ def load_estimator(path):
         raise
     except Exception as exc:
         raise SerializationError(f"unreadable artifact {path}: {exc}") from exc
-    if header.get("schema") != STATE_SCHEMA:
+    if header.get("schema") != schema:
         raise SerializationError(
             f"unsupported artifact schema {header.get('schema')!r}; "
-            f"expected {STATE_SCHEMA!r}"
+            f"expected {schema!r}"
         )
-    return decode_estimator(header["root"], arrays)
+    return header["root"], arrays
+
+
+def save_estimator(est, path) -> None:
+    """Serialise a fitted estimator to one ``.npz`` artifact."""
+    structure, arrays = encode_estimator(est)
+    _write_npz(path, structure, arrays, STATE_SCHEMA)
+
+
+def load_estimator(path):
+    """Load an estimator saved by :func:`save_estimator`.
+
+    Raises :class:`SerializationError` on schema mismatches or corrupt
+    payloads; never unpickles.
+    """
+    structure, arrays = _read_npz(path, STATE_SCHEMA)
+    return decode_estimator(structure, arrays)
+
+
+def save_payload(payload: Any, path, *, schema: str = STATE_SCHEMA) -> None:
+    """Serialise any encodable object graph to one ``.npz`` artifact.
+
+    The generic sibling of :func:`save_estimator`: ``payload`` may be a
+    dict of metadata wrapping one or more nested estimators (what the
+    model registry and the core wrappers' ``save`` methods write).  A
+    distinct ``schema`` tag namespaces artifact kinds — loading demands
+    the same tag back.
+    """
+    structure, arrays = encode(payload)
+    _write_npz(path, structure, arrays, schema)
+
+
+def load_payload(path, *, schema: str = STATE_SCHEMA) -> Any:
+    """Load an object graph saved by :func:`save_payload`.
+
+    Raises :class:`SerializationError` on schema mismatches or corrupt
+    payloads; never unpickles.
+    """
+    structure, arrays = _read_npz(path, schema)
+    return decode(structure, arrays)

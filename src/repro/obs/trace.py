@@ -1,0 +1,266 @@
+"""Hierarchical tracing spans with monotonic clocks.
+
+A *span* measures one named region of execution.  Spans nest: entering
+a span while another is open on the same thread makes it a child, and
+aggregation is keyed by the full path (``campaign.run/campaign.matrix``),
+so one snapshot shows where the time inside each parent went.  The
+recorder is process-wide and thread-safe; each thread carries its own
+span stack (``threading.local``), so concurrent request threads trace
+independently without sharing state.
+
+Timing uses ``time.perf_counter`` (monotonic, sub-microsecond), and
+aggregation is bounded: per path we keep count / total / min / max —
+O(1) memory per distinct path no matter how many times it runs.
+
+Use :class:`SpanRecorder` through :mod:`repro.obs`, which adds the
+process-wide instance and the disabled-by-default fast path::
+
+    from repro import obs
+
+    with obs.span("campaign.run"):
+        for m in corpus:
+            with obs.span("campaign.matrix"):
+                label(m)
+
+    @obs.traced("ml.fit")
+    def fit(...): ...
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["SpanRecorder", "SpanStats", "PATH_SEP"]
+
+#: Separator between span names in an aggregation path.  Span *names*
+#: use dots (``campaign.matrix``); the path separator is distinct so
+#: nesting stays unambiguous.
+PATH_SEP = "/"
+
+
+class SpanStats:
+    """Aggregated timings of every run of one span path."""
+
+    __slots__ = ("path", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def name(self) -> str:
+        """Leaf span name (last path component)."""
+        return self.path.rsplit(PATH_SEP, 1)[-1]
+
+    @property
+    def depth(self) -> int:
+        return self.path.count(PATH_SEP)
+
+    def parent_path(self) -> Optional[str]:
+        if PATH_SEP not in self.path:
+            return None
+        return self.path.rsplit(PATH_SEP, 1)[0]
+
+    def snapshot(self) -> Dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one span activation (created per entry)."""
+
+    __slots__ = ("_recorder", "_name", "_start", "_path")
+
+    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+        self._path = ""
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._recorder._stack()
+        parent = stack[-1] if stack else None
+        self._path = (
+            f"{parent}{PATH_SEP}{self._name}" if parent else self._name
+        )
+        stack.append(self._path)
+        self._start = time.perf_counter()
+        self._recorder._open(self, self._path, self._start)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = self._recorder._stack()
+        # Pop back to (and including) our own frame even if an exception
+        # unwound past child __exit__ calls.
+        while stack and stack[-1] != self._path:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._recorder._close(self, self._path, elapsed)
+
+    @property
+    def path(self) -> str:
+        """Full aggregation path (valid once entered)."""
+        return self._path
+
+
+class SpanRecorder:
+    """Process-wide span aggregator (one per :class:`~repro.obs` state)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: Dict[str, SpanStats] = {}
+        self._local = threading.local()
+        #: Spans currently open on any thread: id(span) -> (path, start).
+        #: Lets :meth:`snapshot` report elapsed-so-far for long-running
+        #: regions (a daemon session, a campaign in flight), so a live
+        #: snapshot never shows a child whose parent is missing.
+        self._active: Dict[int, Tuple[str, float]] = {}
+
+    # -- per-thread stack --------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_path(self) -> Optional[str]:
+        """Path of the innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str) -> _ActiveSpan:
+        """A context manager timing one region named ``name``."""
+        return _ActiveSpan(self, name)
+
+    def record(self, name: str, seconds: float) -> str:
+        """Record an externally measured duration as a span.
+
+        The span is attached under the calling thread's innermost open
+        span (if any).  Used for durations measured elsewhere — e.g. a
+        worker process reporting per-matrix labeling time back to the
+        campaign coordinator.  Returns the full path recorded.
+        """
+        parent = self.current_path()
+        path = f"{parent}{PATH_SEP}{name}" if parent else name
+        self._record(path, float(seconds))
+        return path
+
+    def _record(self, path: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = self._stats[path] = SpanStats(path)
+            stats.add(seconds)
+
+    def _open(self, span: "_ActiveSpan", path: str, start: float) -> None:
+        with self._lock:
+            self._active[id(span)] = (path, start)
+
+    def _close(self, span: "_ActiveSpan", path: str, seconds: float) -> None:
+        with self._lock:
+            self._active.pop(id(span), None)
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = self._stats[path] = SpanStats(path)
+            stats.add(seconds)
+
+    # -- reading -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, SpanStats]:
+        """Path → stats for every recorded span path (sorted copy)."""
+        with self._lock:
+            return {p: self._stats[p] for p in sorted(self._stats)}
+
+    def snapshot(self, include_active: bool = True) -> Dict[str, Dict]:
+        """JSON-able path → aggregate dict.
+
+        With ``include_active`` (default) spans still open at snapshot
+        time contribute their elapsed-so-far as one provisional run
+        (flagged with an ``"open"`` count), so a live snapshot of a
+        running daemon or campaign stays hierarchy-consistent: a parent
+        still in flight is present, and its elapsed time bounds the sum
+        of the children that already finished inside it.
+        """
+        with self._lock:
+            snap = {p: s.snapshot() for p, s in sorted(self._stats.items())}
+            active = list(self._active.values())
+        if include_active and active:
+            now = time.perf_counter()
+            for path, start in active:
+                elapsed = now - start
+                entry = snap.get(path)
+                if entry is None:
+                    entry = snap[path] = {
+                        "count": 0, "total_s": 0.0, "mean_s": 0.0,
+                        "min_s": elapsed, "max_s": 0.0,
+                    }
+                entry["count"] += 1
+                entry["total_s"] += elapsed
+                entry["mean_s"] = entry["total_s"] / entry["count"]
+                entry["min_s"] = min(entry["min_s"], elapsed)
+                entry["max_s"] = max(entry["max_s"], elapsed)
+                entry["open"] = entry.get("open", 0) + 1
+            snap = {p: snap[p] for p in sorted(snap)}
+        return snap
+
+    def reset(self) -> None:
+        """Drop aggregates (open spans on other threads keep running)."""
+        with self._lock:
+            self._stats.clear()
+
+
+def make_traced(
+    span_factory: Callable[[str], object],
+) -> Callable:
+    """Build a ``@traced`` decorator on top of any span factory.
+
+    Separated out so :mod:`repro.obs` can wire the decorator to its
+    enabled-check fast path without this module importing it back.
+    """
+
+    def traced(name_or_fn=None):
+        def wrap(fn, name: Optional[str] = None):
+            import functools
+
+            span_name = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def inner(*args, **kwargs):
+                with span_factory(span_name):
+                    return fn(*args, **kwargs)
+
+            return inner
+
+        if callable(name_or_fn):
+            return wrap(name_or_fn)
+        return lambda fn: wrap(fn, name_or_fn)
+
+    return traced

@@ -17,11 +17,21 @@ a pipe, a socket wrapper or a test's ``StringIO``.  Operations:
     Telemetry snapshot (latency percentiles, throughput, cache hit
     rates, rolling regret).
 
+``{"op": "metrics"}``
+    Process-wide observability snapshot (:func:`repro.obs.snapshot`):
+    every span and metric the shared telemetry spine has collected,
+    including the ``serve.*`` mirrors of the service telemetry.
+
 ``{"op": "shutdown"}``
     Acknowledge and stop the loop.
 
 Every error is a ``{"ok": false, "error": ...}`` response; malformed
 input never kills the daemon.
+
+With ``serve_jsonl(..., snapshot_every=N)`` the loop additionally
+emits a full observability snapshot to the :mod:`repro.obs` event sink
+every ``N`` served requests — a flight recorder for long-lived
+daemons.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from __future__ import annotations
 import json
 from typing import Dict, IO, Iterable, Optional
 
+from .. import obs
 from .service import SelectionService
 
 __all__ = ["handle_request", "serve_jsonl"]
@@ -56,6 +67,8 @@ def handle_request(service: SelectionService, request: Dict) -> Dict:
             }
         if op == "stats":
             return {"ok": True, "stats": service.stats()}
+        if op == "metrics":
+            return {"ok": True, "metrics": obs.snapshot()}
         if op == "shutdown":
             return {"ok": True, "shutdown": True}
         raise ValueError(f"unknown op {op!r}")
@@ -90,29 +103,44 @@ def serve_jsonl(
     out: IO[str],
     *,
     max_requests: Optional[int] = None,
+    snapshot_every: Optional[int] = None,
 ) -> int:
     """Run the request/response loop; returns the number served.
 
     ``lines`` is any iterable of JSON-lines input (a file object, a
     list, ``sys.stdin``); blank lines are skipped, a ``shutdown``
-    request (or ``max_requests``) ends the loop.
+    request (or ``max_requests``) ends the loop.  With
+    ``snapshot_every=N`` a full observability snapshot goes to the
+    :mod:`repro.obs` event sink after every ``N`` served requests (and
+    once more at loop exit) — a no-op unless obs is enabled with a
+    sink attached.
     """
+    if snapshot_every is not None and snapshot_every < 1:
+        raise ValueError("snapshot_every must be >= 1")
     served = 0
-    for line in lines:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except ValueError as exc:
-            response = {"ok": False, "error": f"invalid JSON: {exc}"}
-        else:
-            response = handle_request(service, request)
-        out.write(json.dumps(response) + "\n")
-        out.flush()
-        served += 1
-        if response.get("shutdown"):
-            break
-        if max_requests is not None and served >= max_requests:
-            break
+    with obs.span("serve.session"):
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                response = {"ok": False, "error": f"invalid JSON: {exc}"}
+            else:
+                with obs.span("serve.request"):
+                    response = handle_request(service, request)
+            out.write(json.dumps(response) + "\n")
+            out.flush()
+            served += 1
+            if snapshot_every is not None and served % snapshot_every == 0:
+                obs.emit("serve.snapshot", obs.snapshot())
+            if response.get("shutdown"):
+                break
+            if max_requests is not None and served >= max_requests:
+                break
+    # Final snapshot outside the session span, so it reports the closed
+    # serve.session aggregate rather than a provisional open one.
+    if snapshot_every is not None:
+        obs.emit("serve.snapshot", obs.snapshot())
     return served

@@ -31,12 +31,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-import numpy as np
-
 from ..core.predictor import PerformancePredictor
 from ..core.selector import FormatSelector
 from ..features import FEATURE_SETS
-from ..ml.serialize import SerializationError, decode, encode
+from ..ml.serialize import SerializationError, load_payload, save_payload
 
 __all__ = ["ModelRegistry", "ModelRecord", "RegistryError", "ARTIFACT_SCHEMA"]
 
@@ -159,13 +157,11 @@ class ModelRegistry:
         vdir.mkdir(parents=True, exist_ok=False)
 
         payload = {"kind": kind, "wrapper": model.get_state()}
+        artifact = vdir / "artifact.npz"
         try:
-            structure, arrays = encode(payload)
+            save_payload(payload, artifact, schema=ARTIFACT_SCHEMA)
         except SerializationError as exc:
             raise RegistryError(f"cannot serialize model: {exc}") from exc
-        artifact = vdir / "artifact.npz"
-        header = json.dumps({"schema": ARTIFACT_SCHEMA, "root": structure})
-        np.savez_compressed(artifact, __state__=np.array(header), **arrays)
 
         formats = getattr(model, "formats_", None)
         meta = {
@@ -254,19 +250,9 @@ class ModelRegistry:
                 f"(artifact corrupted or tampered with)"
             )
         try:
-            with np.load(artifact, allow_pickle=False) as z:
-                header = json.loads(str(z["__state__"][()]))
-                arrays = {k: z[k] for k in z.files if k != "__state__"}
-        except Exception as exc:
-            raise RegistryError(f"corrupt artifact {artifact}: {exc}") from exc
-        if header.get("schema") != ARTIFACT_SCHEMA:
-            raise RegistryError(
-                f"artifact schema {header.get('schema')!r} != {ARTIFACT_SCHEMA!r}"
-            )
-        try:
-            payload = decode(header["root"], arrays)
+            payload = load_payload(artifact, schema=ARTIFACT_SCHEMA)
         except SerializationError as exc:
-            raise RegistryError(f"cannot decode {artifact}: {exc}") from exc
+            raise RegistryError(f"cannot load {artifact}: {exc}") from exc
         kind = payload.get("kind")
         if kind == "selector":
             model = FormatSelector.from_state(payload["wrapper"])

@@ -303,7 +303,7 @@ class SelectionService:
         if self.mode in ("direct", "hybrid"):
             direct = self.selector.predict(self._project(X, names, self._sel_names))
         if self.mode in ("indirect", "hybrid"):
-            times = self.predictor.predict_times(
+            times = self.predictor.predict(
                 self._project(X, names, self._pred_names)
             )
         out = []

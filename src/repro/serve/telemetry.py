@@ -13,6 +13,13 @@ One :class:`ServiceTelemetry` instance aggregates everything a
 
 All mutators are thread-safe; :meth:`snapshot` returns a plain dict so
 the numbers drop straight into JSON responses and bench reports.
+
+ServiceTelemetry is also a **façade over the shared telemetry spine**
+(:mod:`repro.obs`): every recording call mirrors into process-wide
+``serve.*`` metrics, so a ``repro-spmv obs`` snapshot of a serving
+process shows the same counts this class reports.  The mirror metrics
+are held directly (always live, independent of ``obs.enabled()``),
+because serving telemetry must stay exact whether or not tracing is on.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from collections import deque
 from typing import Deque, Dict, Optional
 
 import numpy as np
+
+from .. import obs
 
 __all__ = ["ServiceTelemetry"]
 
@@ -64,6 +73,20 @@ class ServiceTelemetry:
         self._latencies_s: Deque[float] = deque(maxlen=window)
         self._regrets: Deque[float] = deque(maxlen=window)
         self._regret_ewma: Optional[float] = None
+        # Shared-registry mirrors (see module docstring).  Metric objects
+        # are resolved once here, so the recording hot path pays one
+        # method call per mirror, not a registry lookup.
+        self._m_requests = obs.counter("serve.requests")
+        self._m_batches = obs.counter("serve.batches")
+        self._m_feedback = obs.counter("serve.feedback")
+        self._m_latency = obs.histogram("serve.request_seconds")
+        self._m_regret_ewma = obs.gauge("serve.regret_ewma")
+        self._m_cache = {
+            ("feature", True): obs.counter("serve.feature_cache_hits"),
+            ("feature", False): obs.counter("serve.feature_cache_misses"),
+            ("decision", True): obs.counter("serve.decision_cache_hits"),
+            ("decision", False): obs.counter("serve.decision_cache_misses"),
+        }
 
     # -- recording ---------------------------------------------------------
 
@@ -88,6 +111,17 @@ class ServiceTelemetry:
             self.decision_cache_misses += decision_misses
             for _ in range(n_requests):
                 self._latencies_s.append(per_request)
+        self._m_requests.inc(n_requests)
+        self._m_batches.inc()
+        for kind, hits in (("feature", feature_hits), ("decision", decision_hits)):
+            if hits:
+                self._m_cache[(kind, True)].inc(hits)
+        for kind, misses in (("feature", feature_misses),
+                             ("decision", decision_misses)):
+            if misses:
+                self._m_cache[(kind, False)].inc(misses)
+        for _ in range(n_requests):
+            self._m_latency.observe(per_request)
 
     def record_regret(self, regret: float) -> None:
         """Account one feedback observation (regret ≥ 0 vs the oracle)."""
@@ -100,6 +134,9 @@ class ServiceTelemetry:
             else:
                 a = self.ewma_alpha
                 self._regret_ewma = a * regret + (1.0 - a) * self._regret_ewma
+            ewma = self._regret_ewma
+        self._m_feedback.inc()
+        self._m_regret_ewma.set(ewma)
 
     # -- reading -----------------------------------------------------------
 

@@ -1,0 +1,51 @@
+"""API-surface lockfile guard (docs/api_surface.txt vs the live package).
+
+Any change to the public surface — a renamed method, a dropped export, a
+new keyword argument — must regenerate the lockfile in the same commit:
+
+    PYTHONPATH=src python tools/dump_api.py --out docs/api_surface.txt
+
+so surface changes are always explicit in review, never accidental.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _dump_api():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        from dump_api import dump_api
+    finally:
+        sys.path.pop(0)
+    return dump_api()
+
+
+def test_surface_matches_lockfile():
+    locked = (REPO / "docs" / "api_surface.txt").read_text()
+    live = _dump_api()
+    assert live == locked, (
+        "public API surface drifted from docs/api_surface.txt; if the "
+        "change is intended, regenerate with "
+        "'PYTHONPATH=src python tools/dump_api.py --out docs/api_surface.txt'"
+    )
+
+
+def test_lockfile_covers_the_new_surface():
+    """Spot-check that the lock actually pins the redesigned API."""
+    locked = (REPO / "docs" / "api_surface.txt").read_text()
+    for needle in (
+        "class ReproConfig",
+        "class FormatSelector",
+        "class PerformancePredictor",
+        "PerformancePredictor.predict(",
+        "FormatSelector.save(",
+        "class SelectionService",
+        "class ModelRegistry",
+        "repro.obs",
+        "def span(",
+        "def snapshot(",
+    ):
+        assert needle in locked, f"lockfile missing {needle!r}"

@@ -48,19 +48,21 @@ class TestRunnerConfig:
         monkeypatch.setenv("REPRO_SCALE", "0.33")
         monkeypatch.setenv("REPRO_MAX_NNZ", "1e5")
         monkeypatch.setenv("REPRO_SEED", "9")
-        assert runner.bench_scale() == 0.33
-        assert runner.bench_max_nnz() == 100_000
-        assert runner.bench_seed() == 9
+        cfg = runner.bench_config()
+        assert cfg.scale == 0.33
+        assert cfg.max_nnz == 100_000
+        assert cfg.seed == 9
 
     def test_defaults(self, monkeypatch):
         from repro.bench import runner
 
         monkeypatch.delenv("REPRO_SCALE", raising=False)
-        assert runner.bench_scale() == 0.1
         monkeypatch.delenv("REPRO_REPS", raising=False)
-        assert runner.bench_reps() == 50
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
-        assert runner.bench_workers() == 1
+        cfg = runner.bench_config()
+        assert cfg.scale == 0.1
+        assert cfg.reps == 50
+        assert cfg.workers == 1
 
     def test_env_change_invalidates_corpus_cache(self, monkeypatch):
         """No stale corpus when REPRO_* changes mid-process (no cache_clear)."""

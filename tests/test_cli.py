@@ -143,3 +143,55 @@ class TestTableCommand:
         finally:
             runner.bench_corpus.cache_clear()
             runner.bench_dataset.cache_clear()
+
+
+class TestObservability:
+    def test_metrics_out_writes_checkable_snapshot(self, tmp_path):
+        import json
+
+        snap_path = tmp_path / "snap.json"
+        assert main(["--metrics-out", str(snap_path), "campaign",
+                     "--scale", "0.004", "--max-nnz", "20000", "--quiet",
+                     "--no-resume", "--out", str(tmp_path / "ds.npz")]) == 0
+        snap = json.loads(snap_path.read_text())
+        assert snap["spans"]["campaign.run"]["count"] == 1
+        assert "campaign.run/campaign.matrix" in snap["spans"]
+        assert snap["metrics"]["campaign.matrices_ok"]["value"] > 0
+        # The obs subcommand validates and renders it back.
+        assert main(["obs", str(snap_path), "--check"]) == 0
+        assert main(["obs", str(snap_path)]) == 0
+
+    def test_trace_flag_prints_tables(self, tmp_path, capsys):
+        assert main(["--trace", "label", "--scale", "0.004",
+                     "--max-nnz", "20000",
+                     "--out", str(tmp_path / "ds.npz")]) == 0
+        err = capsys.readouterr().err
+        assert "campaign.run" in err
+        assert "gpu.benchmarks" in err
+
+    def test_obs_disabled_without_flags(self, tmp_path):
+        from repro import obs
+
+        assert main(["corpus", "--scale", "0.004", "--max-nnz", "20000",
+                     "--out", str(tmp_path / "mtx")]) == 0
+        assert not obs.enabled()
+
+    def test_obs_check_flags_corrupt_snapshot(self, tmp_path, capsys):
+        import json
+
+        bad = {
+            "schema": "repro-obs-snapshot/v1",
+            "spans": {"a/b": {"count": 1, "total_s": 1.0, "mean_s": 1.0,
+                              "min_s": 1.0, "max_s": 1.0}},
+            "metrics": {},
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        assert main(["obs", str(path), "--check"]) == 1
+        assert "parent" in capsys.readouterr().out
+
+    def test_obs_rejects_non_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "not.json"
+        path.write_text('{"hello": 1}')
+        assert main(["obs", str(path)]) == 1
+        assert "error" in capsys.readouterr().err

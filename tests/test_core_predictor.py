@@ -20,7 +20,7 @@ class TestJointMode:
         train, test = split
         pp = PerformancePredictor("xgboost", feature_set="set12", mode="joint")
         pp.fit(train)
-        times = pp.predict_times(test)
+        times = pp.predict(test)
         assert times.shape == (len(test), len(train.formats))
         assert np.all(times > 0)
 
@@ -92,8 +92,8 @@ class TestVectorInput:
         ).fit(train)
         X = test.X("set12")
         for i in range(min(3, X.shape[0])):
-            one_d = pp.predict_times(X[i])
-            batch = pp.predict_times(X[i][None, :])
+            one_d = pp.predict(X[i])
+            batch = pp.predict(X[i][None, :])
             np.testing.assert_array_equal(one_d, batch)
             assert one_d.shape == (1, len(train.formats))
 

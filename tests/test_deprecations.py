@@ -1,0 +1,96 @@
+"""Deprecation shims: old spellings keep working, warn exactly once."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro._compat import deprecated, reset_warning_registry, warn_deprecated
+
+
+@pytest.fixture(autouse=True)
+def rearm():
+    """Each test sees every shim un-fired."""
+    reset_warning_registry()
+    yield
+    reset_warning_registry()
+
+
+def _collect(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn()
+    return result, [w for w in caught if w.category is DeprecationWarning]
+
+
+class TestMachinery:
+    def test_warns_once_per_key(self):
+        _, first = _collect(lambda: warn_deprecated("k", "old is deprecated"))
+        _, second = _collect(lambda: warn_deprecated("k", "old is deprecated"))
+        assert len(first) == 1 and len(second) == 0
+        assert "old is deprecated" in str(first[0].message)
+
+    def test_distinct_keys_warn_independently(self):
+        _, a = _collect(lambda: warn_deprecated("a", "m"))
+        _, b = _collect(lambda: warn_deprecated("b", "m"))
+        assert len(a) == len(b) == 1
+
+    def test_decorator_forwards_and_marks(self):
+        @deprecated("new_fn")
+        def old_fn(x):
+            return x + 1
+
+        value, warned = _collect(lambda: old_fn(2))
+        assert value == 3
+        assert len(warned) == 1
+        assert "new_fn" in str(warned[0].message)
+        assert old_fn.__deprecated__ == "new_fn"
+        assert old_fn.__name__ == "old_fn"
+
+    def test_reset_rearms(self):
+        @deprecated("x")
+        def shim():
+            return 0
+
+        _collect(shim)
+        reset_warning_registry()
+        _, again = _collect(shim)
+        assert len(again) == 1
+
+
+class TestBenchRunnerShims:
+    def test_scalar_shims_match_config(self, monkeypatch):
+        for var in ("REPRO_SCALE", "REPRO_MAX_NNZ", "REPRO_SEED",
+                    "REPRO_REPS", "REPRO_WORKERS"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "0.27")
+        from repro.bench import runner
+
+        cfg = runner.bench_config()
+        for shim, expected in [
+            (runner.bench_scale, cfg.scale),
+            (runner.bench_max_nnz, cfg.max_nnz),
+            (runner.bench_seed, cfg.seed),
+            (runner.bench_reps, cfg.reps),
+            (runner.bench_workers, cfg.workers),
+        ]:
+            value, warned = _collect(shim)
+            assert value == expected
+            assert len(warned) == 1, shim.__name__
+            assert "ReproConfig" in str(warned[0].message)
+
+
+class TestPredictorShim:
+    def test_predict_times_is_a_warn_once_alias(self, mini_dataset):
+        from repro.core.predictor import PerformancePredictor
+
+        pp = PerformancePredictor("decision_tree").fit(mini_dataset)
+        canonical = pp.predict(mini_dataset)
+
+        via_shim, warned = _collect(lambda: pp.predict_times(mini_dataset))
+        assert np.array_equal(canonical, via_shim)
+        assert len(warned) == 1
+        assert "PerformancePredictor.predict" in str(warned[0].message)
+
+        _, again = _collect(lambda: pp.predict_times(mini_dataset))
+        assert len(again) == 0

@@ -214,3 +214,81 @@ class TestCLI:
                      "--selector", "sel"]) == 1
         assert main(["serve", "--registry", str(registry_dir),
                      "--selector", "ghost", "--daemon"]) == 1
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+
+        obs.disable(reset=True)
+        yield
+        obs.disable(reset=True)
+
+    def test_metrics_op_returns_snapshot(self, service, train):
+        from repro.obs.export import SNAPSHOT_SCHEMA
+
+        response = handle_request(service, {"op": "metrics"})
+        assert response["ok"] is True
+        assert response["metrics"]["schema"] == SNAPSHOT_SCHEMA
+
+    def test_serve_counters_match_service_stats(self, service, matrices):
+        """The obs mirrors and the ServiceTelemetry stats must agree."""
+        from repro import obs
+
+        obs.enable()
+        lines = [
+            json.dumps({"op": "predict", "features": extract_features(m)})
+            for m in matrices * 2
+        ]
+        out = io.StringIO()
+        served = serve_jsonl(service, lines, out)
+        stats = service.stats()
+        metrics = obs.snapshot()["metrics"]
+        assert metrics["serve.requests"]["value"] == stats["requests"] == served
+        assert metrics["serve.request_seconds"]["count"] == served
+        hits = stats["decision_cache"]["hits"]
+        assert metrics["serve.decision_cache_hits"]["value"] == hits
+
+    def test_mid_session_metrics_snapshot_is_consistent(self, service, train):
+        from repro import obs
+        from repro.obs.export import check_snapshot
+
+        obs.enable()
+        lines = [
+            json.dumps({"op": "predict",
+                        "vector": train.feature_array[0].tolist()}),
+            json.dumps({"op": "metrics"}),
+        ]
+        out = io.StringIO()
+        serve_jsonl(service, lines, out)
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        snap = responses[1]["metrics"]
+        # Taken inside serve.session/serve.request: both spans are open,
+        # yet the snapshot must still be hierarchy-consistent.
+        assert check_snapshot(snap) == []
+        assert snap["spans"]["serve.session"]["open"] == 1
+        assert snap["spans"]["serve.session/serve.request"]["open"] == 1
+
+    def test_snapshot_every_emits_flight_records(self, service, train):
+        from repro import obs
+        from repro.obs.export import SNAPSHOT_SCHEMA
+
+        events = []
+        obs.enable(sink=lambda event, payload: events.append((event, payload)))
+        request = json.dumps(
+            {"op": "predict", "vector": train.feature_array[0].tolist()}
+        )
+        out = io.StringIO()
+        served = serve_jsonl(service, [request] * 5, out, snapshot_every=2)
+        assert served == 5
+        snaps = [p for e, p in events if e == "serve.snapshot"]
+        # After requests 2 and 4, plus the final one at loop exit.
+        assert len(snaps) == 3
+        assert all(s["schema"] == SNAPSHOT_SCHEMA for s in snaps)
+        # The final snapshot reports the closed session span.
+        assert "open" not in snaps[-1]["spans"]["serve.session"]
+
+    def test_snapshot_every_validates(self, service):
+        with pytest.raises(ValueError):
+            serve_jsonl(service, [], io.StringIO(), snapshot_every=0)

@@ -56,7 +56,7 @@ class TestRoundTrip:
         registry.save(predictor, model, dataset=train)
         restored, record = registry.load(model)
         np.testing.assert_array_equal(
-            predictor.predict_times(train), restored.predict_times(train)
+            predictor.predict(train), restored.predict(train)
         )
         assert record.meta["kind"] == "predictor"
 
@@ -68,7 +68,7 @@ class TestRoundTrip:
         registry.save(predictor, "pf", dataset=train)
         restored, _ = registry.load("pf")
         np.testing.assert_array_equal(
-            predictor.predict_times(train), restored.predict_times(train)
+            predictor.predict(train), restored.predict(train)
         )
         assert restored.mode == "per_format"
 

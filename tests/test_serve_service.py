@@ -105,7 +105,7 @@ class TestPrediction:
         assert decision.chosen == min(times, key=times.get)
         vec = feature_vector(extract_features(matrices[0]), ALL_FEATURES)
         np.testing.assert_allclose(
-            sorted(times.values()), sorted(predictor.predict_times(vec)[0])
+            sorted(times.values()), sorted(predictor.predict(vec)[0])
         )
 
     def test_hybrid_tolerance_extremes(self, selector, predictor, matrices):
