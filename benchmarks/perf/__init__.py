@@ -2,8 +2,11 @@
 
 Thin wrapper around :mod:`repro.bench.perf` (also exposed as the
 ``repro-spmv perf`` subcommand).  Writes ``BENCH_<date>.json`` tracking
-the before/after timings of the one-pass matrix analyzer and the
-presorted-feature tree/boosting training paths.
+the before/after timings of the one-pass matrix analyzer, the
+presorted-feature tree/boosting training paths, serving latency, and —
+via the multi-client load generator (:mod:`repro.bench.loadgen`) — the
+concurrent socket server's sustained throughput, p99 latency and
+cross-client micro-batch sizes.
 """
 
 import sys

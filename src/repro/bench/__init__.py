@@ -30,6 +30,7 @@ from .experiments import (  # noqa: F401
     slowdown_analysis,
     twin_matrices,
 )
+from .loadgen import run_load  # noqa: F401
 from .runner import (  # noqa: F401
     CONFIGS,
     BenchConfig,
@@ -52,6 +53,7 @@ __all__ = [
     "CampaignResult",
     "MatrixResult",
     "run_campaign",
+    "run_load",
     "bench_config",
     "bench_corpus",
     "bench_dataset",

@@ -1,0 +1,150 @@
+"""Multi-client load generator for the concurrent serving stack.
+
+Drives a running :class:`~repro.serve.server.SelectionServer` the way
+real traffic would: ``n_clients`` threads each open their **own** TCP
+connection and issue JSON-lines requests back-to-back, measuring the
+wall time of every request/response round trip.  Because the clients
+are genuinely concurrent, their requests land in shared micro-batches
+server-side — the scenario the ROADMAP's "service for millions of
+users" north star cares about, and the one the single-stream daemon
+benchmark can't exercise.
+
+The result dict (sustained throughput, latency mean/p50/p95/p99, error
+and busy counts, per-client round counts) drops straight into the
+``BENCH_<date>.json`` report via the ``serving_concurrent`` section of
+:mod:`repro.bench.perf`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["run_load"]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _client(
+    address: Tuple[str, int],
+    payloads: Sequence[str],
+    n_requests: int,
+    start_offset: int,
+    barrier: threading.Barrier,
+    timeout: float,
+    out: Dict,
+) -> None:
+    latencies: List[float] = []
+    ok = errors = busy = 0
+    try:
+        with socket.create_connection(address, timeout=timeout) as sock:
+            fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+            barrier.wait(timeout=timeout)
+            for i in range(n_requests):
+                line = payloads[(start_offset + i) % len(payloads)]
+                t0 = time.perf_counter()
+                fh.write(line + "\n")
+                fh.flush()
+                response = json.loads(fh.readline())
+                latencies.append(time.perf_counter() - t0)
+                if response.get("ok"):
+                    ok += 1
+                elif response.get("busy"):
+                    busy += 1
+                else:
+                    errors += 1
+    except Exception as exc:  # connection refused/reset, timeout, ...
+        out["failure"] = f"{type(exc).__name__}: {exc}"
+    out["latencies"] = latencies
+    out["ok"] = ok
+    out["errors"] = errors
+    out["busy"] = busy
+
+
+def run_load(
+    address: Tuple[str, int],
+    payloads: Sequence[str],
+    *,
+    n_clients: int = 8,
+    requests_per_client: int = 100,
+    timeout: float = 30.0,
+) -> Dict:
+    """Hammer ``address`` with ``n_clients`` concurrent connections.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of a running server speaking the JSON-lines
+        protocol.
+    payloads:
+        Pre-encoded request lines (no trailing newline); each client
+        cycles through them from a per-client offset, so concurrent
+        clients mix distinct and shared requests like real traffic.
+    n_clients / requests_per_client:
+        Fleet shape.  Clients synchronise on a barrier after connecting
+        so the measured window is genuinely concurrent.
+    timeout:
+        Per-connection socket timeout (and barrier bound), seconds.
+
+    Returns a JSON-able dict: sustained throughput over the concurrent
+    window, latency mean/p50/p95/p99 (ms), ok/error/busy counts and
+    any per-client connection failures.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if not payloads:
+        raise ValueError("payloads must be non-empty")
+    barrier = threading.Barrier(n_clients + 1)
+    results: List[Dict] = [{} for _ in range(n_clients)]
+    threads = [
+        threading.Thread(
+            target=_client,
+            args=(address, payloads, requests_per_client,
+                  c * requests_per_client, barrier, timeout, results[c]),
+            name=f"loadgen-{c}",
+            daemon=True,
+        )
+        for c in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    # The generator itself is barrier party n+1: the clock starts only
+    # once every client is connected and ready to fire.
+    barrier.wait(timeout=timeout)
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+
+    latencies = [lat for r in results for lat in r.get("latencies", [])]
+    n_ok = sum(r.get("ok", 0) for r in results)
+    n_err = sum(r.get("errors", 0) for r in results)
+    n_busy = sum(r.get("busy", 0) for r in results)
+    failures = [r["failure"] for r in results if "failure" in r]
+    total = len(latencies)
+    return {
+        "n_clients": n_clients,
+        "requests_per_client": requests_per_client,
+        "requests_total": total,
+        "ok": n_ok,
+        "errors": n_err,
+        "busy": n_busy,
+        "client_failures": failures,
+        "wall_s": wall,
+        "throughput_rps": total / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "mean": 1e3 * float(np.mean(latencies)) if latencies else 0.0,
+            "p50": 1e3 * _percentile(latencies, 50),
+            "p95": 1e3 * _percentile(latencies, 95),
+            "p99": 1e3 * _percentile(latencies, 99),
+        },
+    }

@@ -19,6 +19,11 @@ leave a tracked trail:
   latency of :mod:`repro.serve`, both through the in-process
   :class:`~repro.serve.service.SelectionService` API and through the
   JSON-lines daemon path the ``repro-spmv serve --daemon`` CLI runs.
+* **serving under concurrency** — the multi-client load generator
+  (:mod:`repro.bench.loadgen`) against a live
+  :class:`~repro.serve.server.SelectionServer` socket: ≥8 concurrent
+  connections, sustained throughput, p99 round-trip latency and the
+  cross-client micro-batch sizes the server actually formed.
 * **obs overhead** — the :mod:`repro.obs` telemetry spine's cost, both
   the disabled fast path (the repo's ≤2% guard) and full tracing.
 * **campaign end-to-end** — wall time of a tiny measurement campaign,
@@ -240,6 +245,60 @@ def _bench_serving(ds, matrices: Sequence, quick: bool) -> Dict:
     }
 
 
+def _bench_serving_concurrent(ds, quick: bool) -> Dict:
+    """Concurrent socket serving: throughput/p99 under ≥8 clients.
+
+    Starts a :class:`~repro.serve.server.SelectionServer` on a free
+    port and drives it with the multi-client load generator.  Payloads
+    cycle the bench dataset's feature vectors, so concurrent clients
+    mix cache hits and misses and their requests land in shared
+    micro-batches (``batch_size_max > 1`` is the cross-client batching,
+    observed server-side).
+    """
+    from ..core.selector import FormatSelector
+    from ..serve import SelectionServer, SelectionService
+    from .loadgen import run_load
+
+    selector = FormatSelector("decision_tree", feature_set="set123").fit(ds)
+    service = SelectionService(selector)
+    server = SelectionServer(
+        service, port=0, max_batch=64, batch_window_s=0.002, queue_size=1024
+    )
+    server.start()
+    n_clients = 8 if quick else 16
+    per_client = 25 if quick else 200
+    payloads = [
+        json.dumps({"op": "predict", "vector": row.tolist()})
+        for row in ds.feature_array
+    ]
+    try:
+        load = run_load(
+            server.address, payloads,
+            n_clients=n_clients, requests_per_client=per_client,
+        )
+    finally:
+        server.shutdown(drain=True)
+    snap = service.telemetry.snapshot()
+    return {
+        "n_clients": n_clients,
+        "requests_total": load["requests_total"],
+        "ok": load["ok"],
+        "errors": load["errors"],
+        "busy": load["busy"],
+        "client_failures": load["client_failures"],
+        "throughput_rps": load["throughput_rps"],
+        "latency_ms_mean": load["latency_ms"]["mean"],
+        "latency_ms_p50": load["latency_ms"]["p50"],
+        "latency_ms_p95": load["latency_ms"]["p95"],
+        "latency_ms_p99": load["latency_ms"]["p99"],
+        "batch_size_max": snap["batch_size"]["max"],
+        "batch_size_mean": snap["batch_size"]["mean"],
+        "batches_gt1": snap["batch_size"]["gt1"],
+        "decision_cache_hit_rate": snap["decision_cache"]["hit_rate"],
+        "wall_s": load["wall_s"],
+    }
+
+
 def _bench_obs_overhead(X: np.ndarray, y: np.ndarray, quick: bool,
                         repeats: int) -> Dict:
     """Cost of the telemetry spine, disabled (the default) and enabled.
@@ -375,6 +434,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
         X, y, n_estimators=8 if quick else 40, repeats=repeats
     )
     sections["serving"] = _bench_serving(ds, matrices, quick)
+    sections["serving_concurrent"] = _bench_serving_concurrent(ds, quick)
     sections["obs_overhead"] = _bench_obs_overhead(X, y, quick, repeats)
     sections["campaign_e2e"] = _bench_campaign(
         0.005 if quick else 0.02, max_nnz, device
@@ -412,6 +472,13 @@ def _render(report: Dict) -> str:
                 before = f"{sec['before_s']:.3f} s"
                 after = f"{sec['after_s']:.3f} s"
             rows.append((name, before, after, f"{sec['speedup']:.2f}x"))
+        elif "throughput_rps" in sec:
+            rows.append((
+                name,
+                f"{sec['n_clients']} clients",
+                f"{sec['throughput_rps']:.0f} rps",
+                f"p99 {sec['latency_ms_p99']:.2f} ms",
+            ))
         elif "disabled_overhead_pct" in sec:
             rows.append((
                 name,

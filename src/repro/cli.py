@@ -18,7 +18,9 @@ Subcommands cover the full workflow a downstream user needs:
 * ``registry`` — train models into the versioned, checksummed model
   registry (``save`` / ``list`` / ``promote``).
 * ``serve``    — load registry models and serve format decisions:
-  one-shot over ``.mtx`` files or a JSON-lines stdin/stdout daemon.
+  one-shot over ``.mtx`` files, a JSON-lines stdin/stdout daemon, or a
+  concurrent socket server (``--listen HOST:PORT``) micro-batching
+  requests across client connections.
 * ``perf``     — run the tracked performance benchmarks (one-pass
   analysis, presorted tree/boosting fits, serving latency, obs
   overhead) and write ``BENCH_<date>.json``.
@@ -174,9 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve format decisions from registry models",
         description="Load models from the registry and serve format "
-        "decisions: one-shot over .mtx files, or a JSON-lines "
-        "request/response daemon on stdin/stdout (ops: predict, "
-        "feedback, stats, shutdown).",
+        "decisions: one-shot over .mtx files, a JSON-lines "
+        "request/response daemon on stdin/stdout, or a concurrent "
+        "socket server (--listen) micro-batching requests across "
+        "client connections (ops: predict, feedback, stats, metrics, "
+        "shutdown).",
     )
     p.add_argument("--registry", type=Path, required=True, help="registry root dir")
     p.add_argument("--selector", default=None, help="selector name in the registry")
@@ -191,6 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hybrid-mode slack on the predicted best time")
     p.add_argument("--daemon", action="store_true",
                    help="serve JSON-lines requests from stdin")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve the JSON-lines protocol on a TCP socket to "
+                   "many concurrent clients, micro-batching predict "
+                   "requests across connections (PORT 0 picks a free port; "
+                   "the bound address is printed on startup)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="socket mode: flush a micro-batch at this size")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="socket mode: flush an incomplete micro-batch this "
+                   "many ms after its first request")
+    p.add_argument("--queue-size", type=int, default=256,
+                   help="socket mode: bounded request queue; full queue "
+                   "returns busy responses (backpressure)")
     p.add_argument("--stats", action="store_true",
                    help="print the telemetry snapshot when done")
     p.add_argument("--snapshot-every", type=int, default=None, metavar="N",
@@ -499,8 +516,12 @@ def _cmd_serve(args) -> int:
         print("error: need at least one of --selector/--predictor",
               file=sys.stderr)
         return 1
-    if not args.daemon and not args.files:
-        print("error: give .mtx files for one-shot mode or --daemon",
+    if not args.daemon and args.listen is None and not args.files:
+        print("error: give .mtx files for one-shot mode, --daemon, "
+              "or --listen", file=sys.stderr)
+        return 1
+    if args.daemon and args.listen is not None:
+        print("error: --daemon and --listen are mutually exclusive",
               file=sys.stderr)
         return 1
     kwargs = {"tolerance": args.tolerance}
@@ -518,6 +539,35 @@ def _cmd_serve(args) -> int:
     except (RegistryError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if args.listen is not None:
+        from .serve import SelectionServer
+
+        host, _, port_text = args.listen.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(f"error: --listen wants HOST:PORT, got {args.listen!r}",
+                  file=sys.stderr)
+            return 1
+        server = SelectionServer(
+            service,
+            host or "127.0.0.1",
+            port,
+            max_batch=args.max_batch,
+            batch_window_s=args.batch_window_ms / 1e3,
+            queue_size=args.queue_size,
+        )
+        server.start()
+        bound_host, bound_port = server.address
+        print(f"listening on {bound_host}:{bound_port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.shutdown(drain=True)
+        if args.stats:
+            print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+        return 0
 
     if args.daemon:
         served = serve_jsonl(

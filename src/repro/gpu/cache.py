@@ -25,6 +25,7 @@ cheaper gathers than scattered ones of identical size.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -48,6 +49,13 @@ class LRUCache:
     unbounded dict would retain every profile (and, worse, every
     converted format) for the life of the process.
 
+    All operations take an internal lock, so one cache instance may be
+    shared by concurrently serving threads (the network server funnels
+    many connections through one :class:`SelectionService`, whose
+    feature/decision caches are ``LRUCache``\\ s).  A ``get``/``put``
+    pair is still *not* atomic as a unit — use :meth:`setdefault` when
+    check-then-insert must not race.
+
     Parameters
     ----------
     maxsize:
@@ -59,42 +67,49 @@ class LRUCache:
         if maxsize is not None and maxsize < 1:
             raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.Lock()
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (marking it most recently used)."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            return default
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                return default
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/overwrite an entry, evicting the LRU one if needed."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        self._evict()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            self._evict()
 
     def setdefault(self, key: Hashable, value: Any) -> Any:
         """Insert ``value`` unless present; return the cached entry."""
-        try:
-            existing = self._data[key]
-        except KeyError:
-            self._data[key] = value
-            self._evict()
-            return value
-        self._data.move_to_end(key)
-        return existing
+        with self._lock:
+            try:
+                existing = self._data[key]
+            except KeyError:
+                self._data[key] = value
+                self._evict()
+                return value
+            self._data.move_to_end(key)
+            return existing
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def _evict(self) -> None:
         if self.maxsize is not None:

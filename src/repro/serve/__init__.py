@@ -3,15 +3,19 @@
 The deployment layer of the reproduction: persist trained selection
 models as versioned, checksummed, pure-numpy artifacts
 (:class:`ModelRegistry`), serve them behind a cached, micro-batched
-request/response API (:class:`SelectionService`), and close the loop
-with observed-execution feedback, regret tracking and latency/cache
-telemetry (:class:`FeedbackLog`, :class:`ServiceTelemetry`,
-:func:`serve_jsonl`).
+request/response API (:class:`SelectionService`), run that service for
+many concurrent network clients with cross-client micro-batching,
+backpressure and graceful drain (:class:`SelectionServer`,
+:class:`MicroBatcher`), and close the loop with observed-execution
+feedback, regret tracking and latency/cache telemetry
+(:class:`FeedbackLog`, :class:`ServiceTelemetry`, :func:`serve_jsonl`).
 """
 
-from .daemon import handle_request, serve_jsonl
+from .batcher import MicroBatcher, QueueFull
+from .daemon import handle_request, resolve_predict_item, serve_jsonl
 from .feedback import FeedbackEvent, FeedbackLog
 from .registry import ARTIFACT_SCHEMA, ModelRecord, ModelRegistry, RegistryError
+from .server import SelectionServer
 from .service import Decision, SelectionService
 from .telemetry import ServiceTelemetry
 
@@ -20,11 +24,15 @@ __all__ = [
     "Decision",
     "FeedbackEvent",
     "FeedbackLog",
+    "MicroBatcher",
     "ModelRecord",
     "ModelRegistry",
+    "QueueFull",
     "RegistryError",
+    "SelectionServer",
     "SelectionService",
     "ServiceTelemetry",
     "handle_request",
+    "resolve_predict_item",
     "serve_jsonl",
 ]

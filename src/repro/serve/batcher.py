@@ -1,0 +1,214 @@
+"""Cross-client micro-batching in front of :class:`SelectionService`.
+
+The serving argument of the paper (lightweight selection, Sec. V/VII)
+only survives concurrency if the per-request model cost is amortised:
+one decision tree walk per request is cheap, but one *Python call* into
+the model per request is not.  :class:`MicroBatcher` is the funnel that
+makes many concurrent producers share one vectorised
+:meth:`~repro.serve.service.SelectionService.predict_batch` call:
+
+* producers (server connection threads) call :meth:`submit` and get a
+  :class:`concurrent.futures.Future` back;
+* a single worker thread drains the bounded queue, gathering requests
+  into a batch until either ``max_batch`` items are waiting or
+  ``window_s`` has elapsed since the batch opened;
+* the whole batch runs through ``predict_batch`` **once** (which also
+  dedupes identical decision keys), and each future resolves to its
+  :class:`~repro.serve.service.Decision`.
+
+Backpressure is explicit: the queue is bounded, and :meth:`submit`
+raises :class:`QueueFull` instead of blocking when it is at capacity —
+the server maps that to a ``busy`` error response so overload is
+visible to clients instead of silently inflating latency.
+
+If a batch call fails as a whole (one malformed item poisons the stacked
+call), the batcher retries the items **individually**, so one bad
+request fails alone and its co-batched neighbours still resolve.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional
+
+from .. import obs
+
+__all__ = ["MicroBatcher", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the request queue is
+    at capacity (the explicit backpressure signal)."""
+
+
+class _Pending:
+    __slots__ = ("item", "request_id", "future")
+
+    def __init__(self, item, request_id: Optional[str]) -> None:
+        self.item = item
+        self.request_id = request_id
+        self.future: "Future" = Future()
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Funnel concurrent requests into shared ``predict_batch`` calls.
+
+    Parameters
+    ----------
+    service:
+        Anything with a ``predict_batch(items, request_ids=...)``
+        returning one decision per item (normally a
+        :class:`~repro.serve.service.SelectionService`).
+    max_batch:
+        Flush a batch as soon as this many requests are waiting.
+    window_s:
+        Flush an incomplete batch this long after its first request
+        arrived (the latency cost a request may pay to share a model
+        call with its neighbours).
+    queue_size:
+        Bound on requests admitted but not yet batched; beyond it
+        :meth:`submit` raises :class:`QueueFull`.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        max_batch: int = 32,
+        window_s: float = 0.002,
+        queue_size: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.service = service
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- producer side -----------------------------------------------------
+
+    def submit(self, item, request_id: Optional[str] = None) -> "Future":
+        """Enqueue one request; resolve its future to a ``Decision``.
+
+        Raises :class:`QueueFull` when the bounded queue is at capacity
+        and :class:`RuntimeError` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            pending = _Pending(item, request_id)
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                raise QueueFull(
+                    f"request queue full ({self._queue.maxsize} waiting)"
+                ) from None
+        return pending.future
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the worker; with ``drain`` every admitted request still
+        resolves, without it undrained futures get a ``RuntimeError``."""
+        with self._lock:
+            if self._closed:
+                self._worker.join(timeout)
+                return
+            self._closed = True
+            if not drain:
+                # Fail whatever is still queued, then stop the worker.
+                while True:
+                    try:
+                        pending = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if not pending.future.cancelled():
+                        pending.future.set_exception(
+                            RuntimeError("batcher closed before serving")
+                        )
+            # The sentinel lands behind every admitted request (FIFO),
+            # so drained shutdown serves them all before stopping.
+            self._queue.put(_STOP)
+        self._worker.join(timeout)
+
+    # -- worker side -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            pending = self._queue.get()
+            if pending is _STOP:
+                return
+            batch = [pending]
+            deadline = time.monotonic() + self.window_s
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Window closed: take whatever is already queued but
+                    # don't wait for stragglers.
+                    try:
+                        extra = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                else:
+                    try:
+                        extra = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if extra is _STOP:
+                    stop = True
+                    break
+                batch.append(extra)
+            self._flush(batch)
+            if stop:
+                return
+
+    def _flush(self, batch) -> None:
+        live = [p for p in batch if not p.future.cancelled()]
+        if not live:
+            return
+        try:
+            decisions = self.service.predict_batch(
+                [p.item for p in live],
+                request_ids=[p.request_id for p in live],
+            )
+        except Exception:
+            # One poisoned item fails the stacked call; retry items
+            # individually so only the bad one surfaces its error.
+            for p in live:
+                try:
+                    decision = self.service.predict_batch(
+                        [p.item], request_ids=[p.request_id]
+                    )[0]
+                except Exception as exc:
+                    self._resolve(p.future, error=exc)
+                else:
+                    self._resolve(p.future, result=decision)
+            return
+        obs.incr("serve.batcher.flushes")
+        for p, decision in zip(live, decisions):
+            self._resolve(p.future, result=decision)
+
+    @staticmethod
+    def _resolve(future: "Future", result=None, error=None) -> None:
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except Exception:  # future cancelled between check and resolve
+            pass

@@ -42,7 +42,29 @@ from typing import Dict, IO, Iterable, Optional
 from .. import obs
 from .service import SelectionService
 
-__all__ = ["handle_request", "serve_jsonl"]
+__all__ = ["handle_request", "resolve_predict_item", "serve_jsonl"]
+
+
+def resolve_predict_item(request: Dict):
+    """Extract the to-be-predicted item from a ``predict`` request.
+
+    Shared by the stdio loop and the socket server's micro-batching
+    path: exactly one of ``path`` (read as Matrix Market),
+    ``features`` (dict) or ``vector`` (ordered list) must be present.
+    """
+    sources = [k for k in ("path", "features", "vector") if k in request]
+    if len(sources) != 1:
+        raise ValueError(
+            "predict needs exactly one of 'path', 'features' or 'vector'"
+        )
+    key = sources[0]
+    if key == "path":
+        from ..matrices import read_matrix_market
+
+        return read_matrix_market(request["path"])
+    if key == "features":
+        return dict(request["features"])
+    return request["vector"]
 
 
 def handle_request(service: SelectionService, request: Dict) -> Dict:
@@ -77,20 +99,7 @@ def handle_request(service: SelectionService, request: Dict) -> Dict:
 
 
 def _handle_predict(service: SelectionService, request: Dict) -> Dict:
-    sources = [k for k in ("path", "features", "vector") if k in request]
-    if len(sources) != 1:
-        raise ValueError(
-            "predict needs exactly one of 'path', 'features' or 'vector'"
-        )
-    key = sources[0]
-    if key == "path":
-        from ..matrices import read_matrix_market
-
-        item = read_matrix_market(request["path"])
-    elif key == "features":
-        item = dict(request["features"])
-    else:
-        item = request["vector"]
+    item = resolve_predict_item(request)
     decision = service.predict(item, request_id=request.get("id"))
     response = decision.to_dict()
     response["ok"] = True
@@ -109,7 +118,12 @@ def serve_jsonl(
 
     ``lines`` is any iterable of JSON-lines input (a file object, a
     list, ``sys.stdin``); blank lines are skipped, a ``shutdown``
-    request (or ``max_requests``) ends the loop.  With
+    request (or ``max_requests``) ends the loop.  Malformed (non-JSON)
+    lines get an error response but are **not** served requests: they
+    count into the service's ``protocol_errors`` telemetry (and the
+    ``serve.errors`` obs counter) instead, and consume neither the
+    ``max_requests`` nor the ``snapshot_every`` budget — an error flood
+    can't truncate the daemon or distort its flight recorder.  With
     ``snapshot_every=N`` a full observability snapshot goes to the
     :mod:`repro.obs` event sink after every ``N`` served requests (and
     once more at loop exit) — a no-op unless obs is enabled with a
@@ -123,17 +137,23 @@ def serve_jsonl(
             line = line.strip()
             if not line:
                 continue
-            try:
-                request = json.loads(line)
-            except ValueError as exc:
-                response = {"ok": False, "error": f"invalid JSON: {exc}"}
-            else:
-                with obs.span("serve.request"):
+            # Every handled line is spanned — including protocol errors,
+            # which previously escaped the serve.request span entirely.
+            handled = False
+            with obs.span("serve.request"):
+                try:
+                    request = json.loads(line)
+                except ValueError as exc:
+                    response = {"ok": False, "error": f"invalid JSON: {exc}"}
+                    service.telemetry.record_protocol_error()
+                else:
                     response = handle_request(service, request)
+                    handled = True
+                    served += 1
             out.write(json.dumps(response) + "\n")
             out.flush()
-            served += 1
-            if snapshot_every is not None and served % snapshot_every == 0:
+            if (snapshot_every is not None and handled
+                    and served % snapshot_every == 0):
                 obs.emit("serve.snapshot", obs.snapshot())
             if response.get("shutdown"):
                 break

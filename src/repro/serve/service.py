@@ -19,8 +19,10 @@ models behind one request/response surface:
 * **online loop** — :meth:`record_feedback` ties observed execution
   times back to served decisions, updating regret telemetry.
 
-All public methods are thread-safe (one service-wide lock around cache
-and counter mutation; model predictions are pure numpy and reentrant).
+All public methods are thread-safe: the LRU caches carry their own
+internal locks, a service-wide lock guards id allocation, and model
+predictions are pure numpy and reentrant — so one service instance can
+back many concurrent server connections (see :mod:`repro.serve.server`).
 """
 
 from __future__ import annotations
@@ -57,7 +59,9 @@ class Decision:
     predicted_times: Optional[Dict[str, float]] = None  #: regressor output
     direct_choice: Optional[str] = None     #: classifier pick (hybrid only)
     cached: bool = False                    #: served from the decision cache
-    latency_ms: float = 0.0                 #: per-request share of batch time
+    latency_ms: float = 0.0                 #: this request's share of batch
+                                            #: time (cache hits pay only the
+                                            #: overhead share, not model time)
     meta: Dict = field(default_factory=dict, compare=False)
 
     def to_dict(self) -> Dict:
@@ -137,6 +141,9 @@ class SelectionService:
 
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
         self.feedback = FeedbackLog(maxlen=history)
+        #: Registry provenance (``{"selector": ModelRecord, ...}``) —
+        #: filled by :meth:`from_registry`, empty for in-process models.
+        self.records: Dict[str, object] = {}
         self._lock = threading.Lock()
         self._feature_cache = (
             LRUCache(feature_cache_size) if feature_cache_size != 0 else None
@@ -225,7 +232,7 @@ class SelectionService:
             # cheaper than the full analysis it lets repeats skip.
             key = _structure_digest(csr)
             if self._feature_cache is not None:
-                cached = self._cache_get(self._feature_cache, key)
+                cached = self._feature_cache.get(key)
                 if cached is not None:
                     return cached[0], cached[1], key, True
             analysis = analyze_matrix(csr)
@@ -233,7 +240,7 @@ class SelectionService:
                 [analysis.features[n] for n in ALL_FEATURES], dtype=np.float64
             )
             if self._feature_cache is not None:
-                self._cache_put(self._feature_cache, key, (tuple(ALL_FEATURES), vec))
+                self._feature_cache.put(key, (tuple(ALL_FEATURES), vec))
             return tuple(ALL_FEATURES), vec, key, False
 
         if isinstance(item, Mapping):
@@ -278,14 +285,6 @@ class SelectionService:
                 f"request features {names} do not cover model features {want}"
             ) from exc
         return X[:, idx]
-
-    def _cache_get(self, cache: LRUCache, key):
-        with self._lock:
-            return cache.get(key)
-
-    def _cache_put(self, cache: LRUCache, key, value) -> None:
-        with self._lock:
-            cache.put(key, value)
 
     # -- selection ---------------------------------------------------------
 
@@ -337,7 +336,10 @@ class SelectionService:
         Items may mix matrices, feature dicts and 1-D vectors.  Feature
         extraction is cached per matrix structure; decisions are cached
         per (features, mode, tolerance); all cache misses of compatible
-        feature order run through each model in **one** vectorised call.
+        feature order run through each model in **one** vectorised call,
+        with duplicate decision keys collapsed to a single model row (a
+        cross-client micro-batch often carries the same hot matrix more
+        than once).
         """
         t0 = time.perf_counter()
         if request_ids is None:
@@ -353,7 +355,7 @@ class SelectionService:
             f_misses += not f_hit
             dkey = ("dec", names, vec.tobytes(), self.mode, self.tolerance)
             payload = (
-                self._cache_get(self._decision_cache, dkey)
+                self._decision_cache.get(dkey)
                 if self._decision_cache is not None
                 else None
             )
@@ -361,21 +363,34 @@ class SelectionService:
             d_misses += payload is None
             prepared.append((names, vec, dkey, payload))
 
-        # One vectorised model call per distinct feature order.
-        miss_rows: Dict[Tuple[str, ...], List[int]] = {}
-        for i, (names, _, _, payload) in enumerate(prepared):
+        # One vectorised model call per distinct feature order, over the
+        # *unique* decision keys only — duplicates share one model row.
+        miss_items: Dict[Tuple, List[int]] = {}   # dkey -> item indices
+        miss_keys: Dict[Tuple[str, ...], List[Tuple]] = {}  # order -> keys
+        for i, (names, _, dkey, payload) in enumerate(prepared):
             if payload is None:
-                miss_rows.setdefault(names, []).append(i)
+                rows = miss_items.setdefault(dkey, [])
+                if not rows:
+                    miss_keys.setdefault(names, []).append(dkey)
+                rows.append(i)
+        t_model0 = time.perf_counter()
         results: Dict[int, Tuple[int, Optional[np.ndarray], Optional[int]]] = {}
-        for names, rows in miss_rows.items():
-            X = np.stack([prepared[i][1] for i in rows])
-            for i, res in zip(rows, self._decide_batch(X, names)):
-                results[i] = res
+        for names, keys in miss_keys.items():
+            X = np.stack([prepared[miss_items[k][0]][1] for k in keys])
+            for dkey, res in zip(keys, self._decide_batch(X, names)):
+                for i in miss_items[dkey]:
+                    results[i] = res
                 if self._decision_cache is not None:
-                    self._cache_put(self._decision_cache, prepared[i][2], res)
+                    self._decision_cache.put(dkey, res)
+        t_model = time.perf_counter() - t_model0
 
         latency = time.perf_counter() - t0
-        per_request_ms = 1e3 * latency / max(1, len(items))
+        # Latency attribution: every request pays its share of the batch
+        # overhead (featurisation, cache probes); only cache-miss rows
+        # carry the model time.
+        n_miss_items = sum(len(rows) for rows in miss_items.values())
+        overhead_ms = 1e3 * (latency - t_model) / max(1, len(items))
+        model_ms = 1e3 * t_model / max(1, n_miss_items)
         decisions = []
         with self._lock:
             ids = []
@@ -401,11 +416,10 @@ class SelectionService:
                     None if direct_idx is None else self.formats[direct_idx]
                 ),
                 cached=cached,
-                latency_ms=per_request_ms,
+                latency_ms=overhead_ms if cached else overhead_ms + model_ms,
             )
             decisions.append(decision)
-            with self._lock:
-                self._recent.put(rid, decision)
+            self._recent.put(rid, decision)
         self.telemetry.record_batch(
             len(items),
             latency,
@@ -431,8 +445,7 @@ class SelectionService:
         :class:`~repro.serve.feedback.FeedbackEvent`.
         """
         if chosen is None:
-            with self._lock:
-                decision = self._recent.get(request_id)
+            decision = self._recent.get(request_id)
             if decision is None:
                 raise KeyError(
                     f"unknown request id {request_id!r}; pass chosen= for "
@@ -452,6 +465,12 @@ class SelectionService:
             "formats": list(self.formats),
             "selector": getattr(self.selector, "model_name", None),
             "predictor": getattr(self.predictor, "model_name", None),
+            # Registry provenance, so network clients can see which
+            # model build served them (empty for in-process models).
+            "models": {
+                kind: {"name": rec.name, "version": rec.version}
+                for kind, rec in self.records.items()
+            },
             "feedback": {
                 "optimal_distribution": self.feedback.optimal_distribution(),
                 "chosen_distribution": self.feedback.chosen_distribution(),
@@ -462,8 +481,7 @@ class SelectionService:
 
     def clear_caches(self) -> None:
         """Drop cached features and decisions (telemetry is kept)."""
-        with self._lock:
-            if self._feature_cache is not None:
-                self._feature_cache.clear()
-            if self._decision_cache is not None:
-                self._decision_cache.clear()
+        if self._feature_cache is not None:
+            self._feature_cache.clear()
+        if self._decision_cache is not None:
+            self._decision_cache.clear()

@@ -5,6 +5,12 @@ One :class:`ServiceTelemetry` instance aggregates everything a
 
 * per-request latency (bounded reservoir → mean / p50 / p95 / p99),
 * request and batch counts → throughput over the service lifetime,
+* batch-size distribution (cross-client micro-batching shows up here:
+  a concurrent server funneling many connections through one
+  ``predict_batch`` produces batch sizes > 1),
+* protocol errors (malformed request lines — counted apart from served
+  requests so error floods never distort throughput/latency stats),
+* connection lifecycle (opened / active / disconnected mid-request),
 * feature- and decision-cache hit rates,
 * a rolling **regret** estimate versus the oracle, fed by the online
   feedback loop: for each served decision whose observed per-format
@@ -65,12 +71,18 @@ class ServiceTelemetry:
         self._start = time.perf_counter()
         self.n_requests = 0
         self.n_batches = 0
+        self.n_protocol_errors = 0
+        self.n_connections = 0
+        self.n_active_connections = 0
+        self.n_disconnects = 0
+        self.batch_size_max = 0
         self.feature_cache_hits = 0
         self.feature_cache_misses = 0
         self.decision_cache_hits = 0
         self.decision_cache_misses = 0
         self.n_feedback = 0
         self._latencies_s: Deque[float] = deque(maxlen=window)
+        self._batch_sizes: Deque[int] = deque(maxlen=window)
         self._regrets: Deque[float] = deque(maxlen=window)
         self._regret_ewma: Optional[float] = None
         # Shared-registry mirrors (see module docstring).  Metric objects
@@ -78,6 +90,13 @@ class ServiceTelemetry:
         # method call per mirror, not a registry lookup.
         self._m_requests = obs.counter("serve.requests")
         self._m_batches = obs.counter("serve.batches")
+        self._m_errors = obs.counter("serve.errors")
+        self._m_connections = obs.counter("serve.connections")
+        self._m_disconnects = obs.counter("serve.disconnects")
+        self._m_active = obs.gauge("serve.active_connections")
+        self._m_batch_size = obs.histogram(
+            "serve.batch_size", boundaries=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
         self._m_feedback = obs.counter("serve.feedback")
         self._m_latency = obs.histogram("serve.request_seconds")
         self._m_regret_ewma = obs.gauge("serve.regret_ewma")
@@ -105,6 +124,8 @@ class ServiceTelemetry:
         with self._lock:
             self.n_requests += n_requests
             self.n_batches += 1
+            self._batch_sizes.append(n_requests)
+            self.batch_size_max = max(self.batch_size_max, n_requests)
             self.feature_cache_hits += feature_hits
             self.feature_cache_misses += feature_misses
             self.decision_cache_hits += decision_hits
@@ -113,6 +134,7 @@ class ServiceTelemetry:
                 self._latencies_s.append(per_request)
         self._m_requests.inc(n_requests)
         self._m_batches.inc()
+        self._m_batch_size.observe(n_requests)
         for kind, hits in (("feature", feature_hits), ("decision", decision_hits)):
             if hits:
                 self._m_cache[(kind, True)].inc(hits)
@@ -122,6 +144,33 @@ class ServiceTelemetry:
                 self._m_cache[(kind, False)].inc(misses)
         for _ in range(n_requests):
             self._m_latency.observe(per_request)
+
+    def record_protocol_error(self) -> None:
+        """Account one malformed request line (not a served request)."""
+        with self._lock:
+            self.n_protocol_errors += 1
+        self._m_errors.inc()
+
+    def record_connection_open(self) -> None:
+        """Account one accepted client connection."""
+        with self._lock:
+            self.n_connections += 1
+            self.n_active_connections += 1
+            active = self.n_active_connections
+        self._m_connections.inc()
+        self._m_active.set(active)
+
+    def record_connection_close(self, *, disconnected: bool = False) -> None:
+        """Account one finished connection (``disconnected`` = the peer
+        vanished mid-request or a write to it failed)."""
+        with self._lock:
+            self.n_active_connections = max(0, self.n_active_connections - 1)
+            if disconnected:
+                self.n_disconnects += 1
+            active = self.n_active_connections
+        self._m_active.set(active)
+        if disconnected:
+            self._m_disconnects.inc()
 
     def record_regret(self, regret: float) -> None:
         """Account one feedback observation (regret ≥ 0 vs the oracle)."""
@@ -149,13 +198,25 @@ class ServiceTelemetry:
         """Current counters as a JSON-able dict."""
         with self._lock:
             lat = list(self._latencies_s)
+            sizes = list(self._batch_sizes)
             regrets = list(self._regrets)
             uptime = time.perf_counter() - self._start
             return {
                 "uptime_s": uptime,
                 "requests": self.n_requests,
                 "batches": self.n_batches,
+                "protocol_errors": self.n_protocol_errors,
                 "throughput_rps": self.n_requests / uptime if uptime > 0 else 0.0,
+                "batch_size": {
+                    "max": self.batch_size_max,
+                    "mean": float(np.mean(sizes)) if sizes else 0.0,
+                    "gt1": int(sum(s > 1 for s in sizes)),
+                },
+                "connections": {
+                    "total": self.n_connections,
+                    "active": self.n_active_connections,
+                    "disconnects": self.n_disconnects,
+                },
                 "latency_ms": {
                     "mean": 1e3 * float(np.mean(lat)) if lat else 0.0,
                     "p50": 1e3 * _percentile(lat, 50),

@@ -1,5 +1,7 @@
 """LRU cache + the executor's bounded analysis/format caches."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -46,6 +48,48 @@ class TestLRUCache:
         c.put("a", 1)
         c.clear()
         assert len(c) == 0 and "a" not in c
+
+    def test_concurrent_hammer(self):
+        """put/get/setdefault/clear from many threads: no corruption.
+
+        The cache carries its own lock (serving threads share it
+        without external synchronisation), so a mixed workload must
+        never raise and must end within the size bound.
+        """
+        c = LRUCache(32)
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                start.wait(timeout=10)
+                for i in range(500):
+                    key = int(rng.integers(64))
+                    op = i % 4
+                    if op == 0:
+                        c.put(key, (seed, i))
+                    elif op == 1:
+                        got = c.get(key)
+                        assert got is None or isinstance(got, tuple)
+                    elif op == 2:
+                        assert isinstance(c.setdefault(key, (seed, i)), tuple)
+                    elif seed == 0 and i % 400 == 0:
+                        c.clear()
+                    else:
+                        len(c)
+                        key in c
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(c) <= 32
 
 
 class TestExecutorAnalysisCache:

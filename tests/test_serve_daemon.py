@@ -112,10 +112,29 @@ class TestServeLoop:
         out = io.StringIO()
         served = serve_jsonl(service, lines, out)
         responses = [json.loads(l) for l in out.getvalue().splitlines()]
-        # 3 predicts + bad JSON + stats + shutdown; blank skipped, tail unread.
-        assert served == len(responses) == 6
+        # Six responses (3 predicts + bad JSON + stats + shutdown; blank
+        # skipped, tail unread) but only five *served* requests — the
+        # malformed line is a protocol error, not a served request.
+        assert len(responses) == 6
+        assert served == 5
         assert [r["ok"] for r in responses] == [True] * 3 + [False, True, True]
         assert responses[-1]["shutdown"] is True
+        assert service.telemetry.n_protocol_errors == 1
+        assert service.stats()["protocol_errors"] == 1
+
+    def test_malformed_lines_do_not_consume_budget(self, service, train):
+        """An error flood must not truncate the daemon via max_requests."""
+        request = json.dumps(
+            {"op": "predict", "vector": train.feature_array[0].tolist()}
+        )
+        lines = ["{broken", request, "%%%", request, "{", request]
+        out = io.StringIO()
+        served = serve_jsonl(service, lines, out, max_requests=3)
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert served == 3                      # every valid request served
+        assert len(responses) == 6              # errors still answered
+        assert [r["ok"] for r in responses] == [False, True] * 3
+        assert service.telemetry.n_protocol_errors == 3
 
     def test_max_requests(self, service, train):
         request = json.dumps(
@@ -292,3 +311,25 @@ class TestObservability:
     def test_snapshot_every_validates(self, service):
         with pytest.raises(ValueError):
             serve_jsonl(service, [], io.StringIO(), snapshot_every=0)
+
+    def test_protocol_errors_are_spanned_and_counted(self, service, train):
+        """Malformed lines hit the serve.request span and serve.errors,
+        and don't advance the snapshot_every flight recorder."""
+        from repro import obs
+
+        events = []
+        obs.enable(sink=lambda event, payload: events.append(event))
+        request = json.dumps(
+            {"op": "predict", "vector": train.feature_array[0].tolist()}
+        )
+        lines = ["garbage1", request, "garbage2", "garbage3", request]
+        out = io.StringIO()
+        served = serve_jsonl(service, lines, out, snapshot_every=2)
+        assert served == 2
+        snap = obs.snapshot()
+        spans = snap["spans"]["serve.session/serve.request"]
+        assert spans["count"] == 5              # every handled line spanned
+        assert snap["metrics"]["serve.errors"]["value"] == 3
+        # One snapshot at served==2 plus the final one at loop exit; the
+        # three garbage lines advanced nothing.
+        assert events.count("serve.snapshot") == 2

@@ -1,0 +1,382 @@
+"""Concurrent socket server tests: batching, backpressure, drain, faults.
+
+The failure paths here are the ones that only exist under concurrency:
+queue-full backpressure, graceful drain with requests in flight, client
+disconnects mid-request, and protocol-error floods — each asserting the
+telemetry stays exact while the server survives.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FormatSelector
+from repro.serve import (
+    MicroBatcher,
+    QueueFull,
+    SelectionServer,
+    SelectionService,
+)
+
+
+@pytest.fixture(scope="module")
+def train(mini_dataset):
+    return mini_dataset.drop_coo_best()
+
+
+@pytest.fixture(scope="module")
+def selector(train):
+    return FormatSelector("decision_tree", feature_set="set123").fit(train)
+
+
+@pytest.fixture
+def service(selector):
+    return SelectionService(selector)
+
+
+class GatedService:
+    """Wraps a SelectionService; predict_batch blocks until released.
+
+    ``started`` is set on entry, so tests can wait until a batch is
+    genuinely in flight before acting (deterministic backpressure and
+    drain scenarios, no sleeps-as-synchronisation).
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.telemetry = inner.telemetry
+        self.gate = threading.Event()
+        self.gate.set()
+        self.started = threading.Event()
+
+    def predict_batch(self, items, request_ids=None):
+        self.started.set()
+        assert self.gate.wait(timeout=30), "test gate never released"
+        return self.inner.predict_batch(items, request_ids=request_ids)
+
+    def __getattr__(self, name):  # stats, record_feedback, ... pass through
+        return getattr(self.inner, name)
+
+
+def _connect(address, timeout=10.0):
+    sock = socket.create_connection(address, timeout=timeout)
+    return sock, sock.makefile("rw", encoding="utf-8", newline="\n")
+
+
+def _roundtrip(fh, request):
+    fh.write(json.dumps(request) + "\n")
+    fh.flush()
+    return json.loads(fh.readline())
+
+
+def _send(fh, request):
+    fh.write(json.dumps(request) + "\n")
+    fh.flush()
+
+
+class TestMicroBatcher:
+    def test_gathers_concurrent_submissions_into_one_batch(self, service):
+        calls = []
+        inner = service
+
+        class Recording:
+            telemetry = inner.telemetry
+
+            def predict_batch(self, items, request_ids=None):
+                calls.append(len(items))
+                return inner.predict_batch(items, request_ids=request_ids)
+
+        batcher = MicroBatcher(Recording(), max_batch=100, window_s=0.1)
+        vec = list(range(17))
+        futures = [batcher.submit([float(i)] + vec[1:]) for i in range(6)]
+        decisions = [f.result(timeout=10) for f in futures]
+        batcher.close()
+        assert all(d.chosen for d in decisions)
+        assert sum(calls) == 6
+        assert max(calls) > 1        # cross-submission batching happened
+
+    def test_flushes_at_max_batch(self, service):
+        calls = []
+        inner = service
+
+        class Recording:
+            telemetry = inner.telemetry
+
+            def predict_batch(self, items, request_ids=None):
+                calls.append(len(items))
+                return inner.predict_batch(items, request_ids=request_ids)
+
+        # Window is effectively infinite: only max_batch can flush.
+        batcher = MicroBatcher(Recording(), max_batch=4, window_s=30.0)
+        futures = [
+            batcher.submit([float(i)] + [0.0] * 16, f"r{i}") for i in range(4)
+        ]
+        for f in futures:
+            f.result(timeout=10)
+        batcher.close()
+        assert calls == [4]
+
+    def test_queue_full_raises(self, service):
+        gated = GatedService(service)
+        gated.gate.clear()
+        batcher = MicroBatcher(gated, max_batch=1, window_s=0.0, queue_size=1)
+        vec = [1.0] * 17
+        first = batcher.submit(vec)          # worker takes it, blocks on gate
+        assert gated.started.wait(timeout=10)
+        second = batcher.submit(vec)         # sits in the queue (capacity 1)
+        with pytest.raises(QueueFull):
+            batcher.submit(vec)
+        gated.gate.set()
+        assert first.result(timeout=10).chosen
+        assert second.result(timeout=10).chosen
+        batcher.close()
+
+    def test_close_drains_admitted_requests(self, service):
+        gated = GatedService(service)
+        gated.gate.clear()
+        batcher = MicroBatcher(gated, max_batch=1, window_s=0.0, queue_size=64)
+        futures = [batcher.submit([float(i)] + [0.0] * 16) for i in range(8)]
+        assert gated.started.wait(timeout=10)
+        closer = threading.Thread(target=batcher.close, daemon=True)
+        closer.start()
+        gated.gate.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        assert all(f.result(timeout=10).chosen for f in futures)
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit([0.0] * 17)
+
+    def test_poisoned_item_fails_alone(self, service):
+        batcher = MicroBatcher(service, max_batch=10, window_s=0.2)
+        good = batcher.submit([1.0] * 17)
+        bad = batcher.submit([1.0] * 5)      # wrong vector length
+        assert good.result(timeout=10).chosen
+        with pytest.raises(ValueError, match="cannot interpret"):
+            bad.result(timeout=10)
+        batcher.close()
+
+    def test_validates_parameters(self, service):
+        with pytest.raises(ValueError):
+            MicroBatcher(service, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(service, window_s=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(service, queue_size=0)
+
+
+class TestConcurrentServing:
+    def test_many_clients_share_batches(self, service, train, selector):
+        server = SelectionServer(
+            service, port=0, max_batch=64, batch_window_s=0.05
+        ).start()
+        rows = train.feature_array
+        n_clients, per_client = 8, 4
+        results = [[] for _ in range(n_clients)]
+        barrier = threading.Barrier(n_clients)
+
+        def client(c):
+            sock, fh = _connect(server.address)
+            with sock:
+                barrier.wait(timeout=10)
+                for j in range(per_client):
+                    row = rows[(c * per_client + j) % len(rows)]
+                    results[c].append(_roundtrip(
+                        fh, {"op": "predict", "vector": row.tolist(),
+                             "id": f"c{c}-{j}"}
+                    ))
+
+        threads = [
+            threading.Thread(target=client, args=(c,), daemon=True)
+            for c in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        server.shutdown(drain=True)
+
+        assert all(len(r) == per_client for r in results)
+        for c, responses in enumerate(results):
+            for j, response in enumerate(responses):
+                assert response["ok"] is True
+                assert response["id"] == f"c{c}-{j}"
+                row = rows[(c * per_client + j) % len(rows)]
+                assert response["format"] == selector.predict_formats(
+                    np.asarray(row)
+                )[0]
+        snap = service.telemetry.snapshot()
+        assert snap["requests"] == n_clients * per_client
+        assert snap["batch_size"]["max"] > 1      # cross-client batching
+        assert snap["connections"]["total"] == n_clients
+        assert snap["connections"]["active"] == 0
+
+    def test_stats_and_metrics_ops_over_socket(self, service, train):
+        server = SelectionServer(service, port=0).start()
+        try:
+            sock, fh = _connect(server.address)
+            with sock:
+                vec = train.feature_array[0].tolist()
+                assert _roundtrip(fh, {"op": "predict", "vector": vec})["ok"]
+                stats = _roundtrip(fh, {"op": "stats"})
+                assert stats["ok"] is True
+                assert stats["stats"]["requests"] == 1
+                assert stats["stats"]["connections"]["active"] == 1
+                assert "batch_size" in stats["stats"]
+                metrics = _roundtrip(fh, {"op": "metrics"})
+                assert metrics["ok"] is True
+                # obs metrics are process-global; just check presence.
+                assert metrics["metrics"]["metrics"]["serve.requests"]["value"] >= 1
+        finally:
+            server.shutdown()
+
+    def test_mixed_valid_invalid_lines_keep_counts_exact(self, service, train):
+        server = SelectionServer(service, port=0).start()
+        try:
+            sock, fh = _connect(server.address)
+            with sock:
+                vec = train.feature_array[0].tolist()
+                responses = []
+                for line in ("this is not json", "{", "[1, 2"):
+                    fh.write(line + "\n")
+                    fh.flush()
+                    responses.append(json.loads(fh.readline()))
+                responses.append(
+                    _roundtrip(fh, {"op": "predict", "vector": vec})
+                )
+                assert [r["ok"] for r in responses] == [False] * 3 + [True]
+                assert all("invalid JSON" in r["error"]
+                           for r in responses[:3])
+            snap = service.telemetry.snapshot()
+            assert snap["protocol_errors"] == 3
+            assert snap["requests"] == 1          # errors aren't requests
+        finally:
+            server.shutdown()
+
+    def test_client_disconnect_does_not_kill_server(self, service, train):
+        server = SelectionServer(service, port=0).start()
+        try:
+            vec = train.feature_array[0].tolist()
+            # Client 1 fires a request and vanishes without reading.
+            sock, fh = _connect(server.address)
+            _send(fh, {"op": "predict", "vector": vec})
+            sock.close()
+            # Client 2 (and the server) must be entirely unaffected.
+            sock2, fh2 = _connect(server.address)
+            with sock2:
+                for _ in range(3):
+                    assert _roundtrip(
+                        fh2, {"op": "predict", "vector": vec}
+                    )["ok"] is True
+        finally:
+            server.shutdown()
+
+    def test_backpressure_busy_response_shape(self, selector):
+        gated = GatedService(SelectionService(selector))
+        gated.gate.clear()
+        server = SelectionServer(
+            gated, port=0, max_batch=1, batch_window_s=0.0, queue_size=1
+        ).start()
+        try:
+            vec = [1.0] * 17
+            # First request: worker picks it up and blocks inside the model.
+            sock1, fh1 = _connect(server.address)
+            _send(fh1, {"op": "predict", "vector": vec, "id": "inflight"})
+            assert gated.started.wait(timeout=10)
+            # Second request fills the queue (capacity 1).
+            sock2, fh2 = _connect(server.address)
+            _send(fh2, {"op": "predict", "vector": vec, "id": "queued"})
+            # Give it a moment to be admitted before overflowing.
+            time.sleep(0.2)
+            # Third request overflows: explicit busy response, immediately.
+            sock3, fh3 = _connect(server.address)
+            busy = _roundtrip(fh3, {"op": "predict", "vector": vec})
+            assert busy["ok"] is False
+            assert busy["busy"] is True
+            assert "overloaded" in busy["error"]
+            sock3.close()
+            # Release the gate: both admitted requests complete.
+            gated.gate.set()
+            with sock1:
+                assert json.loads(fh1.readline())["id"] == "inflight"
+            with sock2:
+                assert json.loads(fh2.readline())["id"] == "queued"
+        finally:
+            gated.gate.set()
+            server.shutdown()
+
+    def test_graceful_drain_completes_in_flight_work(self, selector):
+        gated = GatedService(SelectionService(selector))
+        gated.gate.clear()
+        server = SelectionServer(
+            gated, port=0, max_batch=1, batch_window_s=0.0, queue_size=64
+        ).start()
+        address = server.address
+        n_inflight = 6
+        socks = []
+        for i in range(n_inflight):
+            sock, fh = _connect(address)
+            _send(fh, {"op": "predict", "vector": [1.0 * i] + [0.0] * 16,
+                       "id": f"inflight-{i}"})
+            socks.append((sock, fh))
+        assert gated.started.wait(timeout=10)
+        # All six connections must be *accepted* (in flight) before the
+        # drain starts; connects still in the TCP backlog are refused.
+        deadline = time.monotonic() + 10
+        while (gated.telemetry.snapshot()["connections"]["active"]
+               < n_inflight):
+            assert time.monotonic() < deadline, "connections never accepted"
+            time.sleep(0.01)
+
+        stopper = threading.Thread(
+            target=lambda: server.shutdown(drain=True), daemon=True
+        )
+        stopper.start()
+        time.sleep(0.2)           # shutdown is underway, work still gated
+        gated.gate.set()
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+
+        # Zero dropped: every in-flight request got its response.
+        answered = []
+        for i, (sock, fh) in enumerate(socks):
+            with sock:
+                response = json.loads(fh.readline())
+                assert response["ok"] is True
+                answered.append(response["id"])
+        assert answered == [f"inflight-{i}" for i in range(n_inflight)]
+        assert gated.telemetry.snapshot()["requests"] == n_inflight
+
+        # And new connections are refused after the drain.
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=2)
+
+    def test_network_shutdown_op_drains_server(self, service, train):
+        server = SelectionServer(service, port=0).start()
+        serve_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        serve_thread.start()
+        sock, fh = _connect(server.address)
+        with sock:
+            vec = train.feature_array[0].tolist()
+            assert _roundtrip(fh, {"op": "predict", "vector": vec})["ok"]
+            ack = _roundtrip(fh, {"op": "shutdown"})
+            assert ack["ok"] is True and ack["shutdown"] is True
+        serve_thread.join(timeout=30)
+        assert not serve_thread.is_alive()
+
+    def test_lifecycle_guards(self, service):
+        server = SelectionServer(service, port=0)
+        with pytest.raises(RuntimeError, match="not started"):
+            server.address
+        with pytest.raises(RuntimeError, match="not started"):
+            server.serve_forever()
+        server.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+        server.shutdown()
+        server.shutdown()        # idempotent

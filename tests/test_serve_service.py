@@ -1,6 +1,7 @@
 """SelectionService tests: modes, caching, batching, feedback, threads."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -166,6 +167,65 @@ class TestCaching:
         assert snap["latency_ms"]["p50"] > 0
         assert snap["latency_ms"]["p99"] >= snap["latency_ms"]["p50"]
         assert snap["throughput_rps"] > 0
+
+
+class TestBatchSemantics:
+    def test_duplicate_items_hit_model_once(self, selector, matrices,
+                                            monkeypatch):
+        service = SelectionService(selector, feature_cache_size=0,
+                                   decision_cache_size=0)
+        shapes = []
+        real = selector.predict
+
+        def recording(X):
+            shapes.append(X.shape[0])
+            return real(X)
+
+        monkeypatch.setattr(selector, "predict", recording)
+        batch = [matrices[0]] * 5 + [matrices[1]] * 3
+        decisions = service.predict_batch(batch)
+        # Two unique structures → one model call over exactly two rows,
+        # even with every cache disabled (dedupe, not caching).
+        assert shapes == [2]
+        assert len(decisions) == 8
+        assert len({d.chosen for d in decisions[:5]}) == 1
+        assert len({d.chosen for d in decisions[5:]}) == 1
+        assert not any(d.cached for d in decisions)
+
+    def test_cache_hits_not_billed_model_time(self, selector, matrices,
+                                              monkeypatch):
+        service = SelectionService(selector)
+        real = selector.predict
+
+        def slow(X):
+            time.sleep(0.05)
+            return real(X)
+
+        monkeypatch.setattr(selector, "predict", slow)
+        first = service.predict(matrices[0])
+        assert not first.cached and first.latency_ms >= 50
+        # Mixed batch: the cache hit must not be billed the miss's
+        # model time, only the shared per-batch overhead.
+        hit, miss = service.predict_batch([matrices[0], matrices[1]])
+        assert hit.cached and not miss.cached
+        assert miss.latency_ms >= 50
+        assert hit.latency_ms < 50
+
+    def test_registry_provenance_in_stats(self, selector, predictor, train,
+                                          tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(selector, "sel", dataset=train)
+        registry.save(predictor, "prd", dataset=train)
+        service = SelectionService.from_registry(registry, "sel", "prd")
+        models = service.stats()["service"]["models"]
+        assert set(models) == {"selector", "predictor"}
+        assert models["selector"] == {"name": "sel", "version": "v0001"}
+        assert models["predictor"] == {"name": "prd", "version": "v0001"}
+
+    def test_records_empty_for_in_process_models(self, selector):
+        service = SelectionService(selector)
+        assert service.records == {}
+        assert service.stats()["service"]["models"] == {}
 
 
 class TestFeedback:
