@@ -57,7 +57,15 @@ from .formats import (  # noqa: F401
     FORMAT_NAMES,
     as_format,
 )
-from .gpu import SpMVExecutor, KEPLER_K40C, PASCAL_P100  # noqa: F401
+from .gpu import (  # noqa: F401
+    DEVICES,
+    KEPLER_K40C,
+    KNL_7250,
+    PASCAL_P100,
+    VOLTA_V100,
+    SpMVExecutor,
+    estimate_batch,
+)
 from .analysis import MatrixAnalysis, analyze_matrix  # noqa: F401
 
 #: Heavyweight entry points resolved lazily by :func:`__getattr__` —
@@ -85,8 +93,12 @@ __all__ = [
     "FORMAT_NAMES",
     "as_format",
     "SpMVExecutor",
+    "estimate_batch",
+    "DEVICES",
     "KEPLER_K40C",
     "PASCAL_P100",
+    "VOLTA_V100",
+    "KNL_7250",
     *sorted(_LAZY_EXPORTS),
 ]
 

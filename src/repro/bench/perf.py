@@ -11,6 +11,10 @@ leave a tracked trail:
 * **label per matrix** — :func:`repro.core.labeling.label_matrix` end to
   end, before (explicit two-pass profile/features) vs after (the shared
   ``executor.analyze`` scan).
+* **batched estimate** — the cost-model fleet sweep: a per-pair loop
+  of :func:`repro.gpu.kernels.estimate_time` vs one vectorised
+  :func:`repro.gpu.batch.estimate_batch` call over the same N×F
+  (matrices × formats) grid.
 * **tree fit / boosting fit** — ``presort=False`` (the historical
   per-node sorting implementation) vs ``presort=True`` (root presort +
   stable partition; see :mod:`repro.ml.tree`) on the repo's labeled
@@ -137,6 +141,45 @@ def _bench_labeling(
         "reps": reps,
         "before_ms_per_matrix": 1e3 * t0 / n,
         "after_ms_per_matrix": 1e3 * t1 / n,
+        "speedup": _speedup(t0, t1),
+    }
+
+
+def _bench_batched_estimate(matrices: Sequence, repeats: int) -> Dict:
+    """Cost-model sweep: per-pair ``estimate_time`` loop vs one batch.
+
+    Profiling is hoisted out of both sides (the batch API takes
+    profiles too), so the number isolates the model evaluation itself —
+    the part ``benchmark_batch`` and campaign labeling now vectorise.
+    """
+    from ..gpu import DEVICES, ProfileBatch, estimate_batch, profile_matrix
+    from ..gpu.kernels import KERNEL_MODELS, estimate_time
+
+    device = DEVICES["v100"]
+    n = 64
+    profiles = [profile_matrix(matrices[i % len(matrices)]) for i in range(n)]
+    batch = ProfileBatch.from_profiles(profiles)
+    formats = tuple(KERNEL_MODELS)
+
+    def before() -> None:
+        for prof in profiles:
+            for fmt in formats:
+                estimate_time(fmt, prof, device, "single")
+
+    def after() -> None:
+        estimate_batch(batch, formats, device, "single")
+
+    t0 = _best_of(before, repeats)
+    t1 = _best_of(after, repeats)
+    pairs = n * len(formats)
+    return {
+        "n_matrices": n,
+        "n_formats": len(formats),
+        "n_pairs": pairs,
+        "before_s": t0,
+        "after_s": t1,
+        "before_ms_per_pair": 1e3 * t0 / pairs,
+        "after_ms_per_pair": 1e3 * t1 / pairs,
         "speedup": _speedup(t0, t1),
     }
 
@@ -429,6 +472,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
     ).to_dataset()
     X, y = ds.feature_array, ds.labels
 
+    sections["batched_estimate"] = _bench_batched_estimate(matrices, repeats)
     sections["tree_fit"] = _bench_tree_fit(X, y, repeats)
     sections["boosting_fit"] = _bench_boosting_fit(
         X, y, n_estimators=8 if quick else 40, repeats=repeats

@@ -71,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .gpu import DEVICES
+
+    device_choices = sorted(DEVICES)
+
     p = sub.add_parser("corpus", help="generate the synthetic corpus as .mtx files")
     p.add_argument("--scale", type=float, default=0.01, help="corpus fraction of ~2300")
     p.add_argument("--seed", type=int, default=0)
@@ -81,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+", type=Path)
 
     p = sub.add_parser("label", help="run the simulated measurement campaign")
-    p.add_argument("--device", default="k40c", choices=("k40c", "k80c", "p100"))
+    p.add_argument("--device", default="k40c", choices=device_choices)
     p.add_argument("--precision", default="single", choices=("single", "double"))
     p.add_argument("--scale", type=float, default=0.02)
     p.add_argument("--seed", type=int, default=0)
@@ -98,9 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         "engine surfaced: a process pool fans the per-matrix loop out, "
         "per-matrix result shards make interrupted runs resumable, "
         "failures are recorded (and logged) instead of aborting, and "
-        "progress (counts, ETA) streams to stdout.",
+        "progress (counts, ETA) streams to stdout.  Repeat --device to "
+        "label the same corpus across a device fleet; each device gets "
+        "its own dataset (the device key is inserted before the output "
+        "suffix) and its own resume shards.",
     )
-    p.add_argument("--device", default="k40c", choices=("k40c", "k80c", "p100"))
+    p.add_argument("--device", dest="devices", action="append", default=None,
+                   choices=device_choices, metavar="DEVICE",
+                   help="simulated device (repeatable for a fleet sweep; "
+                   f"default: k40c; choices: {', '.join(device_choices)})")
     p.add_argument("--precision", default="single", choices=("single", "double"))
     p.add_argument("--scale", type=float, default=0.02)
     p.add_argument("--seed", type=int, default=0)
@@ -310,6 +320,17 @@ def _cmd_label(args) -> int:
     return 0
 
 
+def _per_device_path(path: Optional[Path], device: str, fleet: bool) -> Optional[Path]:
+    """Insert the device key before ``path``'s suffix for fleet sweeps.
+
+    Single-device runs keep the user's path untouched so existing scripts
+    (and the shard directories they already populated) stay valid.
+    """
+    if path is None or not fleet:
+        return path
+    return path.with_name(f"{path.stem}.{device}{path.suffix}")
+
+
 def _cmd_campaign(args) -> int:
     from collections import Counter
 
@@ -317,10 +338,9 @@ def _cmd_campaign(args) -> int:
     from .gpu import DEVICES
     from .matrices import SyntheticCorpus
 
+    devices = list(dict.fromkeys(args.devices or ["k40c"]))
+    fleet = len(devices) > 1
     corpus = SyntheticCorpus(scale=args.scale, seed=args.seed, max_nnz=args.max_nnz)
-    shard_dir = None
-    if not args.no_resume:
-        shard_dir = args.shard_dir or args.out.with_suffix(args.out.suffix + ".shards")
 
     def _progress(ev) -> None:
         if args.quiet:
@@ -335,37 +355,52 @@ def _cmd_campaign(args) -> int:
             flush=True,
         )
 
-    result = run_campaign(
-        corpus,
-        DEVICES[args.device],
-        args.precision,
-        reps=args.reps,
-        seed=args.seed,
-        workers=args.workers,
-        shard_dir=shard_dir,
-        progress=_progress,
-        timeout_s=args.timeout,
-    )
-    if args.failures is not None:
-        args.failures.parent.mkdir(parents=True, exist_ok=True)
-        result.write_failure_log(args.failures)
-        print(f"failure log: {args.failures} ({len(result.failures)} matrices)")
-    elif result.failures:
-        for name, reason in result.failures.items():
-            print(f"dropped {name}: {reason}")
-    try:
-        ds = result.to_dataset()
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    ds.save(args.out)
-    dist = Counter(ds.label_names.tolist())
-    print(f"labeled {len(ds)}/{len(corpus)} matrices on {ds.device} "
-          f"({ds.precision}, reps={ds.reps}, {len(result.failures)} dropped)")
-    print("best-format distribution: "
-          + ", ".join(f"{k}={v}" for k, v in dist.most_common()))
-    print(f"saved {args.out}")
+    summaries = []
+    for device in devices:
+        out = _per_device_path(args.out, device, fleet)
+        shard_dir = None
+        if not args.no_resume:
+            shard_dir = (_per_device_path(args.shard_dir, device, fleet)
+                         or out.with_suffix(out.suffix + ".shards"))
+        if fleet and not args.quiet:
+            print(f"=== device {device} -> {out} ===", flush=True)
+        result = run_campaign(
+            corpus,
+            DEVICES[device],
+            args.precision,
+            reps=args.reps,
+            seed=args.seed,
+            workers=args.workers,
+            shard_dir=shard_dir,
+            progress=_progress,
+            timeout_s=args.timeout,
+        )
+        failures_path = _per_device_path(args.failures, device, fleet)
+        if failures_path is not None:
+            failures_path.parent.mkdir(parents=True, exist_ok=True)
+            result.write_failure_log(failures_path)
+            print(f"failure log: {failures_path} ({len(result.failures)} matrices)")
+        elif result.failures:
+            for name, reason in result.failures.items():
+                print(f"dropped {name}: {reason}")
+        try:
+            ds = result.to_dataset()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        out.parent.mkdir(parents=True, exist_ok=True)
+        ds.save(out)
+        dist = Counter(ds.label_names.tolist())
+        print(f"labeled {len(ds)}/{len(corpus)} matrices on {ds.device} "
+              f"({ds.precision}, reps={ds.reps}, {len(result.failures)} dropped)")
+        print("best-format distribution: "
+              + ", ".join(f"{k}={v}" for k, v in dist.most_common()))
+        print(f"saved {out}")
+        summaries.append((device, out, len(ds), dist.most_common(1)[0][0] if dist else "-"))
+    if fleet:
+        print("fleet summary:")
+        for device, out, n, top in summaries:
+            print(f"  {device}: {n} matrices, top format {top}, {out}")
     return 0
 
 

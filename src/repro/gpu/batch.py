@@ -1,0 +1,626 @@
+"""Batched, vectorized evaluation of the kernel cost models.
+
+The scalar path in :mod:`repro.gpu.kernels` estimates one
+(matrix, format) pair per Python call — fine for a probe, but campaigns
+and the serving indirect mode sweep N matrices × F formats, and the
+interpreter overhead of ``N * F`` calls dominates the arithmetic.  This
+module evaluates the same models as numpy sweeps:
+
+* :class:`ProfileBatch` — a struct-of-arrays view over N
+  :class:`~repro.gpu.profile.MatrixProfile` objects (one int64/float64
+  array per profile field, gather statistics per precision),
+* :func:`estimate_batch` — all requested format kernels over the whole
+  batch in one pass, returning a :class:`CostBreakdownBatch` of
+  ``(N, F)`` arrays,
+* :func:`format_bytes_batch` — the vectorized device-footprint model
+  backing the executor's batched feasibility/OOM checks.
+
+Bit-identity contract
+---------------------
+Every vectorized kernel reproduces the *exact operation order* of its
+scalar twin in :mod:`repro.gpu.kernels` (same associativity, same
+int-vs-float promotion points, ``np.where``/``np.divide(where=...)``
+standing in for branches), so each ``(i, j)`` cell of the batch equals
+the scalar ``estimate_time(formats[j], profiles[i], ...)`` result bit
+for bit.  ``tests/test_gpu_batch.py`` pins this for all formats ×
+devices × precisions; the contract is what lets the campaign labeler
+and the serving path switch to the batched sweep without invalidating
+any previously recorded dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .cache import gather_traffic_bytes_batch
+from .device import DeviceSpec
+from .kernels import IDX, KERNEL_MODELS, CostBreakdown, _itemsize
+from .profile import MatrixProfile
+
+__all__ = [
+    "ProfileBatch",
+    "CostBreakdownBatch",
+    "estimate_batch",
+    "format_bytes_batch",
+]
+
+#: Precisions every profile carries gather statistics for.
+_PRECISIONS = ("single", "double")
+
+#: Profile fields stored as int64 arrays.
+_INT_FIELDS = (
+    "n_rows",
+    "n_cols",
+    "nnz",
+    "nnz_max",
+    "nnz_min",
+    "empty_rows",
+    "hyb_threshold",
+    "hyb_ell_nnz",
+    "hyb_spill_nnz",
+    "hyb_spill_rows",
+    "n_diags",
+    "bsr_blocks",
+)
+
+#: Profile fields stored as float64 arrays.
+_FLOAT_FIELDS = ("nnz_mu", "nnz_sigma", "warp_divergence", "vector_waste")
+
+
+@dataclass(frozen=True)
+class ProfileBatch:
+    """Struct-of-arrays over N :class:`MatrixProfile` objects.
+
+    Integer structure counters are int64 arrays (so feasibility
+    comparisons stay exact, like the scalar path's Python ints) and the
+    row-statistics are float64; ``gather_unique``/``gather_fetches``
+    hold the per-precision cache-line gather statistics.  Build one
+    with :meth:`from_profiles`.
+    """
+
+    n_rows: np.ndarray
+    n_cols: np.ndarray
+    nnz: np.ndarray
+    nnz_mu: np.ndarray
+    nnz_sigma: np.ndarray
+    nnz_max: np.ndarray
+    nnz_min: np.ndarray
+    empty_rows: np.ndarray
+    warp_divergence: np.ndarray
+    vector_waste: np.ndarray
+    hyb_threshold: np.ndarray
+    hyb_ell_nnz: np.ndarray
+    hyb_spill_nnz: np.ndarray
+    hyb_spill_rows: np.ndarray
+    n_diags: np.ndarray
+    bsr_blocks: np.ndarray
+    gather_unique: Dict[str, np.ndarray]
+    gather_fetches: Dict[str, np.ndarray]
+    digests: Tuple[bytes, ...]
+
+    @classmethod
+    def from_profiles(cls, profiles: Iterable[MatrixProfile]) -> "ProfileBatch":
+        """Pack a sequence of profiles into parallel arrays."""
+        profs = list(profiles)
+        fields: Dict[str, np.ndarray] = {}
+        for name in _INT_FIELDS:
+            fields[name] = np.array([getattr(p, name) for p in profs], dtype=np.int64)
+        for name in _FLOAT_FIELDS:
+            fields[name] = np.array([getattr(p, name) for p in profs], dtype=np.float64)
+        gather_unique = {
+            prec: np.array([p.gather[prec].unique_lines for p in profs], dtype=np.int64)
+            for prec in _PRECISIONS
+        }
+        gather_fetches = {
+            prec: np.array([p.gather[prec].line_fetches for p in profs], dtype=np.int64)
+            for prec in _PRECISIONS
+        }
+        return cls(
+            gather_unique=gather_unique,
+            gather_fetches=gather_fetches,
+            digests=tuple(p.digest for p in profs),
+            **fields,
+        )
+
+    def __len__(self) -> int:
+        return int(self.n_rows.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of matrices in the batch."""
+        return len(self)
+
+    @property
+    def row_cv(self) -> np.ndarray:
+        """Row-length coefficient of variation, 0 where ``nnz_mu == 0``."""
+        cv = np.zeros(len(self))
+        np.divide(self.nnz_sigma, self.nnz_mu, out=cv, where=self.nnz_mu > 0)
+        return cv
+
+    @property
+    def ell_padding_ratio(self) -> np.ndarray:
+        """ELL stored slots per non-zero (1.0 for empty matrices)."""
+        ratio = np.ones(len(self))
+        np.divide(self.n_rows * self.nnz_max, self.nnz, out=ratio, where=self.nnz != 0)
+        return ratio
+
+
+# ---------------------------------------------------------------------------
+# Assembly helpers (vector twins of kernels._assemble / _reduction_seconds)
+# ---------------------------------------------------------------------------
+
+
+def _as_column(value, n: int) -> np.ndarray:
+    """Broadcast a scalar or (N,) array to a float64 (N,) array."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    return arr
+
+
+def _assemble_batch(
+    batch: ProfileBatch,
+    device: DeviceSpec,
+    *,
+    matrix_bytes,
+    x_bytes,
+    y_bytes,
+    efficiency,
+    imbalance,
+    compute_seconds,
+    launches: float,
+    setup_us: float = 0.0,
+) -> Dict[str, np.ndarray]:
+    """Vector twin of :func:`repro.gpu.kernels._assemble`.
+
+    Operation order matches the scalar helper exactly; the
+    ``total_bytes == 0`` branch (zero-traffic matrices get zero memory
+    time, not 0/0) is reproduced with a masked divide.
+    """
+    n = len(batch)
+    total_bytes = matrix_bytes + x_bytes + y_bytes
+    w = np.maximum(np.asarray(total_bytes, dtype=np.float64), 0.0)
+    utilization = w / (w + device.saturation_bytes)
+    bw = device.stream_bandwidth * efficiency * utilization
+    mem_seconds = np.zeros(n)
+    # Degenerate zero-efficiency cells (e.g. HYB on an empty matrix,
+    # where the scalar kernel raises ZeroDivisionError) come out as inf
+    # here; the executor maps non-finite estimates to failures.
+    with np.errstate(divide="ignore"):
+        np.divide(total_bytes, bw, out=mem_seconds, where=total_bytes != 0)
+    launch_seconds = launches * device.launch_overhead_us * 1e-6 + setup_us * 1e-6
+    seconds = np.maximum(mem_seconds, compute_seconds) * imbalance + launch_seconds
+    return {
+        "seconds": _as_column(seconds, n),
+        "matrix_bytes": _as_column(matrix_bytes, n),
+        "x_bytes": _as_column(x_bytes, n),
+        "y_bytes": _as_column(y_bytes, n),
+        "compute_seconds": _as_column(compute_seconds, n),
+        "launch_seconds": _as_column(launch_seconds, n),
+        "imbalance": _as_column(imbalance, n),
+        "efficiency": _as_column(efficiency, n),
+        "flops": 2.0 * batch.nnz,
+    }
+
+
+def _reduction_seconds_batch(device: DeviceSpec, ops, cycles_per_op: float):
+    throughput = device.n_sm * device.cores_per_sm * device.clock_hz
+    return ops * cycles_per_op / throughput
+
+
+def _gather_batch(
+    batch: ProfileBatch, device: DeviceSpec, precision: str, *, locality_penalty: float = 1.0
+) -> np.ndarray:
+    return gather_traffic_bytes_batch(
+        batch.gather_unique[precision],
+        batch.gather_fetches[precision],
+        batch.nnz,
+        device,
+        locality_penalty=locality_penalty,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized per-format models (twins of kernels._coo ... kernels._bsr)
+# ---------------------------------------------------------------------------
+
+
+def _coo_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    nnz = batch.nnz
+    matrix_bytes = nnz * (2 * IDX + v)
+    x_bytes = _gather_batch(batch, device, precision)
+    atomic_eff = device.atomic_efficiency
+    if precision == "double" and device.arch == "kepler":
+        atomic_eff *= 0.5
+    rows_touched = batch.n_rows - batch.empty_rows
+    y_bytes = 2.0 * rows_touched * v / max(atomic_eff, 1e-3)
+    compute = _reduction_seconds_batch(device, nnz, cycles_per_op=4.0)
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.58,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=1,
+        setup_us=2.0,
+    )
+
+
+def _csr_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    nnz = batch.nnz
+    rows = batch.n_rows
+    matrix_bytes = nnz * (IDX + v) + (rows + 1) * IDX
+    x_bytes = _gather_batch(batch, device, precision)
+    y_bytes = rows * v
+
+    scalar = _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.30,
+        imbalance=1.0 + 0.8 * (batch.warp_divergence - 1.0),
+        compute_seconds=_reduction_seconds_batch(device, nnz, 1.0),
+        launches=1,
+    )
+    waste = batch.vector_waste
+    vector = _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.88,
+        imbalance=1.0 + 0.45 * (waste - 1.0),
+        compute_seconds=_reduction_seconds_batch(device, nnz + 8.0 * rows, 1.2),
+        launches=1,
+    )
+    cv = batch.row_cv
+    packed = _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.82,
+        imbalance=1.0 + 0.80 * np.minimum(cv, 4.0),
+        compute_seconds=_reduction_seconds_batch(device, nnz * 1.1 + 8.0 * rows, 1.0),
+        launches=1,
+    )
+    # Per-matrix min over the three variants.  np.argmin keeps the first
+    # occurrence on ties, matching Python min() over (scalar, vector,
+    # packed) in the scalar kernel.
+    stacked_seconds = np.stack(
+        [scalar["seconds"], vector["seconds"], packed["seconds"]]
+    )
+    choice = np.argmin(stacked_seconds, axis=0)
+    out = {}
+    for field in scalar:
+        out[field] = np.choose(choice, [scalar[field], vector[field], packed[field]])
+    return out
+
+
+def _ell_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    slots = batch.n_rows * batch.nnz_max
+    matrix_bytes = slots * (IDX + v)
+    x_bytes = _gather_batch(batch, device, precision)
+    y_bytes = batch.n_rows * v
+    compute = _reduction_seconds_batch(device, slots.astype(np.float64), 0.8)
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.96,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=1,
+        setup_us=1.5,
+    )
+
+
+def _hyb_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    rows = batch.n_rows
+    ell_slots = rows * np.minimum(batch.hyb_threshold, batch.nnz_max)
+    spill = batch.hyb_spill_nnz
+    matrix_bytes = ell_slots * (IDX + v) + spill * (2 * IDX + v)
+    x_bytes = _gather_batch(batch, device, precision)
+    atomic_eff = device.atomic_efficiency
+    if precision == "double" and device.arch == "kepler":
+        atomic_eff *= 0.5
+    spill_rows = batch.hyb_spill_rows
+    y_bytes = rows * v + 2.0 * spill_rows * v / max(atomic_eff, 1e-3)
+    compute = _reduction_seconds_batch(device, ell_slots * 0.8 + spill * 2.5, 1.0)
+    total_elems = np.maximum(ell_slots + spill, 1)
+    efficiency = (0.96 * ell_slots + 0.88 * spill) / total_elems
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=efficiency,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=2,
+        setup_us=3.0,
+    )
+
+
+def _csr5_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    nnz = batch.nnz
+    rows = batch.n_rows
+    tile_elems = 32 * 16
+    n_tiles = -(-nnz // tile_elems)  # == 0 where nnz == 0, as in the scalar model
+    matrix_bytes = (
+        nnz * (IDX + v)
+        + (rows + 1) * IDX
+        + (n_tiles + 1) * IDX
+        + n_tiles * 2 * IDX
+        + nnz / 8.0
+    )
+    x_bytes = _gather_batch(batch, device, precision, locality_penalty=1.22)
+    y_bytes = rows * v + n_tiles * v
+    compute = _reduction_seconds_batch(device, nnz * 1.6 + n_tiles * 96.0, 1.0)
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.94,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=1,
+        setup_us=6.0,
+    )
+
+
+def _merge_csr_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    nnz = batch.nnz
+    rows = batch.n_rows
+    items = nnz + rows
+    items_per_thread = 7 * 32
+    partitions = -(-items // items_per_thread)
+    matrix_bytes = (
+        nnz * (IDX + v)
+        + (rows + 1) * IDX * 2
+        + partitions * 2 * IDX
+    )
+    x_bytes = _gather_batch(batch, device, precision)
+    y_bytes = rows * v + partitions * 2.0 * v
+    search_ops = partitions * (np.log2(rows + 1) + 1.0) * 4.0
+    compute = _reduction_seconds_batch(device, nnz * 1.3 + rows * 2.5 + search_ops, 1.0)
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.93,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=1.5,
+        setup_us=5.0,
+    )
+
+
+def _dia_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    rows = batch.n_rows
+    n_diags = batch.n_diags
+    matrix_bytes = n_diags * rows * v + n_diags * IDX
+    x_size = batch.n_cols * v
+    resident = np.minimum(1.0, (device.l2_bytes * 0.5) / np.maximum(x_size, 1.0))
+    x_bytes = x_size + (1.0 - resident) * np.maximum(n_diags - 1, 0) * rows * v * 0.5
+    y_bytes = rows * v
+    compute = _reduction_seconds_batch(device, (n_diags * rows).astype(np.float64), 0.6)
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.97,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=1,
+        setup_us=0.5,
+    )
+
+
+def _bsr_batch(batch: ProfileBatch, device: DeviceSpec, precision: str):
+    v = _itemsize(precision)
+    r = c = 4
+    n_blocks = batch.bsr_blocks
+    n_brows = -(-batch.n_rows // r)
+    matrix_bytes = n_blocks * r * c * v + n_blocks * IDX + (n_brows + 1) * IDX
+    x_bytes = 0.9 * _gather_batch(batch, device, precision)
+    y_bytes = batch.n_rows * v
+    compute = _reduction_seconds_batch(device, n_blocks * r * c * 1.0, 1.0)
+    return _assemble_batch(
+        batch,
+        device,
+        matrix_bytes=matrix_bytes,
+        x_bytes=x_bytes,
+        y_bytes=y_bytes,
+        efficiency=0.94,
+        imbalance=1.0,
+        compute_seconds=compute,
+        launches=1,
+        setup_us=1.0,
+    )
+
+
+#: Registry: format name -> vectorized cost model (same keys as
+#: kernels.KERNEL_MODELS; the equivalence test asserts both stay in sync).
+BATCH_KERNEL_MODELS: Dict[
+    str, Callable[[ProfileBatch, DeviceSpec, str], Dict[str, np.ndarray]]
+] = {
+    "coo": _coo_batch,
+    "csr": _csr_batch,
+    "ell": _ell_batch,
+    "hyb": _hyb_batch,
+    "csr5": _csr5_batch,
+    "merge_csr": _merge_csr_batch,
+    "dia": _dia_batch,
+    "bsr": _bsr_batch,
+}
+
+#: Field names of CostBreakdown, in declaration order.
+_BREAKDOWN_FIELDS = (
+    "seconds",
+    "matrix_bytes",
+    "x_bytes",
+    "y_bytes",
+    "compute_seconds",
+    "launch_seconds",
+    "imbalance",
+    "efficiency",
+    "flops",
+)
+
+
+@dataclass(frozen=True)
+class CostBreakdownBatch:
+    """Cost estimates for N matrices × F formats as ``(N, F)`` arrays.
+
+    Column ``j`` holds the estimates for ``formats[j]``; cell ``(i, j)``
+    is bit-identical to the scalar ``estimate_time(formats[j],
+    profiles[i], device, precision)``.  Use :meth:`at` to materialise a
+    single cell as a plain :class:`CostBreakdown`.
+    """
+
+    formats: Tuple[str, ...]
+    seconds: np.ndarray
+    matrix_bytes: np.ndarray
+    x_bytes: np.ndarray
+    y_bytes: np.ndarray
+    compute_seconds: np.ndarray
+    launch_seconds: np.ndarray
+    imbalance: np.ndarray
+    efficiency: np.ndarray
+    flops: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return tuple(self.seconds.shape)
+
+    @property
+    def gflops(self) -> np.ndarray:
+        """Achieved GFLOP/s per cell (0 where the estimate is 0)."""
+        out = np.zeros_like(self.seconds)
+        np.divide(self.flops, self.seconds, out=out, where=self.seconds > 0)
+        return out / 1e9
+
+    def column(self, fmt: str) -> int:
+        """Column index of ``fmt`` (raises ``ValueError`` if absent)."""
+        return self.formats.index(fmt)
+
+    def at(self, i: int, fmt: Union[str, int]) -> CostBreakdown:
+        """The scalar :class:`CostBreakdown` of matrix ``i`` under ``fmt``."""
+        j = self.column(fmt) if isinstance(fmt, str) else fmt
+        return CostBreakdown(
+            **{name: float(getattr(self, name)[i, j]) for name in _BREAKDOWN_FIELDS}
+        )
+
+
+def _as_batch(
+    profiles: Union[ProfileBatch, Sequence[MatrixProfile]]
+) -> ProfileBatch:
+    if isinstance(profiles, ProfileBatch):
+        return profiles
+    return ProfileBatch.from_profiles(profiles)
+
+
+def estimate_batch(
+    profiles: Union[ProfileBatch, Sequence[MatrixProfile]],
+    formats: Optional[Sequence[str]] = None,
+    device: DeviceSpec = None,
+    precision: str = "single",
+) -> CostBreakdownBatch:
+    """Evaluate the cost models for N matrices × F formats in one pass.
+
+    Parameters
+    ----------
+    profiles:
+        A :class:`ProfileBatch` or a sequence of
+        :class:`MatrixProfile` objects (packed automatically).
+    formats:
+        Format names to evaluate (columns of the result, in order).
+        ``None`` evaluates every registered kernel model.
+    device:
+        Target :class:`~repro.gpu.device.DeviceSpec` (required).
+    precision:
+        ``"single"`` or ``"double"``.
+
+    Raises ``KeyError`` for unknown formats and ``ValueError`` for an
+    unknown precision, like :func:`~repro.gpu.kernels.estimate_time`.
+    """
+    if device is None:
+        raise TypeError("estimate_batch() requires a device")
+    _itemsize(precision)  # validate precision up front
+    batch = _as_batch(profiles)
+    names = tuple(KERNEL_MODELS) if formats is None else tuple(formats)
+    columns = []
+    for fmt in names:
+        try:
+            model = BATCH_KERNEL_MODELS[fmt]
+        except KeyError:
+            raise KeyError(
+                f"unknown format {fmt!r}; expected one of {sorted(KERNEL_MODELS)}"
+            ) from None
+        columns.append(model(batch, device, precision))
+    n, f = len(batch), len(names)
+    fields = {
+        name: np.empty((n, f), dtype=np.float64) for name in _BREAKDOWN_FIELDS
+    }
+    for j, col in enumerate(columns):
+        for name in _BREAKDOWN_FIELDS:
+            fields[name][:, j] = col[name]
+    return CostBreakdownBatch(formats=names, **fields)
+
+
+def format_bytes_batch(
+    batch: ProfileBatch, fmt: str, precision: str
+) -> np.ndarray:
+    """Vectorized analytic device footprint of ``fmt`` per matrix.
+
+    Twin of ``SpMVExecutor._format_bytes``: integer formats stay int64
+    so the executor's OOM comparison is exact, CSR5 carries its
+    fractional bit-flag term as float64 — matching the scalar types.
+    """
+    v = _itemsize(precision)
+    nnz, rows = batch.nnz, batch.n_rows
+    if fmt == "coo":
+        return nnz * (2 * IDX + v)
+    if fmt in ("csr", "merge_csr"):
+        return nnz * (IDX + v) + (rows + 1) * IDX
+    if fmt == "ell":
+        return rows * batch.nnz_max * (IDX + v)
+    if fmt == "hyb":
+        return (
+            rows * np.minimum(batch.hyb_threshold, batch.nnz_max) * (IDX + v)
+            + batch.hyb_spill_nnz * (2 * IDX + v)
+        )
+    if fmt == "csr5":
+        return nnz * (IDX + v) + (rows + 1) * IDX + nnz / 8.0
+    if fmt == "dia":
+        return batch.n_diags * rows * v + batch.n_diags * IDX
+    if fmt == "bsr":
+        return batch.bsr_blocks * 16 * v + batch.bsr_blocks * IDX
+    raise KeyError(fmt)

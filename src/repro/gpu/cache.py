@@ -29,11 +29,14 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
+import numpy as np
+
 from .device import DeviceSpec
 from .profile import GatherStats, MatrixProfile
 
 __all__ = [
     "gather_traffic_bytes",
+    "gather_traffic_bytes_batch",
     "L2_X_SHARE",
     "CONFLICT_MISS_RATE",
     "LRUCache",
@@ -162,3 +165,36 @@ def gather_traffic_bytes(
         fetched = resident * stats.unique_lines + (1.0 - resident) * stats.line_fetches
 
     return float(fetched) * line * min(max(locality_penalty, 1.0), 4.0)
+
+
+def gather_traffic_bytes_batch(
+    unique_lines: np.ndarray,
+    line_fetches: np.ndarray,
+    nnz: np.ndarray,
+    device: DeviceSpec,
+    *,
+    locality_penalty: float = 1.0,
+) -> np.ndarray:
+    """Vectorized :func:`gather_traffic_bytes` over N matrices at once.
+
+    Takes the gather statistics as parallel int64 arrays (one entry per
+    matrix, as stored in :class:`~repro.gpu.batch.ProfileBatch`) and
+    returns a float64 array of DRAM bytes.  Every arithmetic step
+    mirrors the scalar function's operation order exactly, so the
+    results are bit-identical to per-matrix calls.
+    """
+    unique = np.asarray(unique_lines, dtype=np.int64)
+    fetches = np.asarray(line_fetches, dtype=np.int64)
+    line = device.cache_line_bytes
+    l2_lines = (device.l2_bytes * L2_X_SHARE) / line
+    working_set = np.maximum(unique, 1)
+
+    extra = CONFLICT_MISS_RATE * np.maximum(fetches - unique, 0)
+    resident = l2_lines / working_set
+    fetched = np.where(
+        working_set <= l2_lines,
+        unique + extra,
+        resident * unique + (1.0 - resident) * fetches,
+    )
+    traffic = fetched * line * min(max(locality_penalty, 1.0), 4.0)
+    return np.where(np.asarray(nnz, dtype=np.int64) == 0, 0.0, traffic)

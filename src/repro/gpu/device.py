@@ -1,17 +1,28 @@
-"""GPU device descriptors for the execution simulator.
+"""Device descriptors for the execution simulator.
 
 The paper's testbeds (Table III) are a Kepler-class Tesla (referred to
 as both K40c and K80c in the text) and a Pascal-class Tesla P100.  A
 :class:`DeviceSpec` carries the handful of architectural parameters the
-SpMV cost models consume; two presets reproduce the paper's machines
-and users can declare their own.
+SpMV cost models consume; presets reproduce the paper's machines and
+users can declare their own.
+
+Beyond the paper's pair, the fleet carries two more presets so the
+cross-device selector-transfer question can be asked at all (Chen et
+al., "Optimizing SpMV on Emerging Many-Core Architectures", motivates
+exactly this roster extension):
+
+* :data:`VOLTA_V100` — a Volta-class Tesla V100 (HBM2, fast atomics),
+* :data:`KNL_7250` — a many-core CPU à la Chen et al.'s Knights
+  Landing testbed: MCDRAM-class bandwidth, a large distributed L2, no
+  GPU-style launch latency but an expensive parallel-region fork, and
+  CPU cache-line (64 B) transaction granularity.
 
 SpMV is bandwidth-bound, so the first-order quantities are the DRAM
 bandwidth, the L2 capacity available to cache the input vector, and the
 latency/occupancy constants that govern how quickly a kernel can reach
 streaming speed.  Second-order, architecture-flavoured effects (atomic
 throughput for COO-style reductions, kernel launch cost, double-precision
-throughput) differentiate Kepler from Pascal the same way the paper's
+throughput) differentiate the architectures the same way the paper's
 measurements do.
 """
 
@@ -20,7 +31,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
-__all__ = ["DeviceSpec", "KEPLER_K40C", "PASCAL_P100", "DEVICES"]
+__all__ = [
+    "DeviceSpec",
+    "KEPLER_K40C",
+    "PASCAL_P100",
+    "VOLTA_V100",
+    "KNL_7250",
+    "DEVICES",
+]
+
+#: Architecture families the kernel models know about.  ``"kepler"``
+#: and ``"pascal"`` are the paper's; ``"volta"``/``"ampere"`` are later
+#: NVIDIA GPU generations (treated generically, differentiated through
+#: the numeric descriptor fields); ``"manycore"`` is a wide-vector CPU
+#: (KNL / Phytem-class parts à la Chen et al.).
+ARCHS = ("kepler", "pascal", "volta", "ampere", "manycore")
 
 
 @dataclass(frozen=True)
@@ -32,7 +57,7 @@ class DeviceSpec:
     name:
         Human-readable device name (also the registry key).
     arch:
-        Architecture family, ``"kepler"`` or ``"pascal"`` (drives a few
+        Architecture family, one of :data:`ARCHS` (drives a few
         family-specific kernel constants).
     n_sm:
         Number of streaming multiprocessors.
@@ -84,7 +109,7 @@ class DeviceSpec:
     bw_efficiency: float = 0.80
 
     def __post_init__(self) -> None:
-        if self.arch not in ("kepler", "pascal"):
+        if self.arch not in ARCHS:
             raise ValueError(f"unknown arch {self.arch!r}")
         for attr in ("n_sm", "cores_per_sm", "clock_mhz", "mem_bw_gbps",
                      "l2_bytes", "global_mem_bytes"):
@@ -172,9 +197,54 @@ PASCAL_P100 = DeviceSpec(
     bw_efficiency=0.78,
 )
 
+#: A Volta-class Tesla V100 (80 SMs / 64 cores/SM / 1530 MHz / 16 GB /
+#: 6 MB L2, HBM2).  Volta's independent thread scheduling and much
+#: faster global atomics narrow the COO/HYB penalty relative to the
+#: paper's parts; the larger L2 widens the DIA/BSR locality window.
+VOLTA_V100 = DeviceSpec(
+    name="Tesla V100",
+    arch="volta",
+    n_sm=80,
+    cores_per_sm=64,
+    clock_mhz=1530.0,
+    mem_bw_gbps=900.0,
+    l2_bytes=6_291_456,
+    global_mem_bytes=16 * 1024**3,
+    launch_overhead_us=2.5,
+    saturation_bytes=3.2e6,
+    atomic_efficiency=0.75,
+    fp64_throughput_ratio=0.5,
+    bw_efficiency=0.82,
+)
+
+#: A many-core CPU descriptor à la Chen et al.'s Knights Landing
+#: testbed (Xeon Phi 7250: 68 cores, AVX-512 so 16 FP32 lanes/core,
+#: 1.4 GHz, 16 GB MCDRAM at ~490 GB/s, 34 MB distributed L2).  CPU
+#: transactions move 64-byte cache lines; there is no kernel-launch
+#: latency but forking a parallel region costs ~8 µs; global atomics
+#: through the mesh are far slower than on a GPU.
+KNL_7250 = DeviceSpec(
+    name="Xeon Phi 7250",
+    arch="manycore",
+    n_sm=68,
+    cores_per_sm=16,
+    clock_mhz=1400.0,
+    mem_bw_gbps=490.0,
+    l2_bytes=34 * 1024**2,
+    global_mem_bytes=16 * 1024**3,
+    cache_line_bytes=64,
+    launch_overhead_us=8.0,
+    saturation_bytes=0.8e6,
+    atomic_efficiency=0.20,
+    fp64_throughput_ratio=0.5,
+    bw_efficiency=0.85,
+)
+
 #: Registry of preset devices, keyed by short alias.
 DEVICES: Dict[str, DeviceSpec] = {
     "k40c": KEPLER_K40C,
     "k80c": KEPLER_K40C,  # the paper uses both names for its Kepler box
     "p100": PASCAL_P100,
+    "v100": VOLTA_V100,
+    "knl": KNL_7250,
 }

@@ -24,12 +24,14 @@ memory or failed to execute for one or more storage formats".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import obs
 from ..formats import FORMAT_NAMES, SparseFormat, as_format
+from . import batch as _batch
+from .batch import CostBreakdownBatch, ProfileBatch, format_bytes_batch
 from .cache import LRUCache
 from .device import DeviceSpec
 from .kernels import IDX, CostBreakdown, estimate_time
@@ -39,6 +41,8 @@ from .profile import MatrixProfile
 __all__ = [
     "SpMVExecutor",
     "TimingSample",
+    "BenchmarkSweep",
+    "FormatFailure",
     "SimulationError",
     "OutOfMemoryError",
     "KernelFailure",
@@ -55,6 +59,24 @@ class OutOfMemoryError(SimulationError):
 
 class KernelFailure(SimulationError):
     """The kernel cannot execute this matrix (e.g. ELL padding blow-up)."""
+
+
+@dataclass(frozen=True)
+class FormatFailure:
+    """Structured reason one format could not be benchmarked.
+
+    ``error`` is the class name of the exception the scalar path raises
+    for the same matrix (``OutOfMemoryError``, ``KernelFailure``, ...)
+    and ``reason`` its message, so ``str(failure)`` reproduces the
+    historical ``f"{type(exc).__name__}: {exc}"`` labeling string.
+    """
+
+    fmt: str
+    error: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.error}: {self.reason}"
 
 
 @dataclass(frozen=True)
@@ -78,6 +100,24 @@ class TimingSample:
     def __post_init__(self) -> None:
         if self.seconds <= 0:
             raise ValueError("timing must be positive")
+
+
+class BenchmarkSweep(Dict[str, Optional[TimingSample]]):
+    """Result of benchmarking one matrix across several formats.
+
+    A plain ``dict`` of ``fmt -> TimingSample`` (``None`` where the
+    format could not run) — so historical ``benchmark_all`` callers
+    keep working unchanged — plus :attr:`failures`, mapping each failed
+    format to its structured :class:`FormatFailure`.
+    """
+
+    def __init__(
+        self,
+        samples: Dict[str, Optional[TimingSample]],
+        failures: Dict[str, FormatFailure],
+    ) -> None:
+        super().__init__(samples)
+        self.failures = dict(failures)
 
 
 class SpMVExecutor:
@@ -203,6 +243,50 @@ class SpMVExecutor:
                 f"{self.device.global_mem_bytes / 1e9:.2f} GB"
             )
 
+    def feasibility_batch(
+        self, batch: ProfileBatch, formats: Sequence[str]
+    ) -> List[Dict[str, FormatFailure]]:
+        """Vectorized :meth:`check_feasible` over a whole batch.
+
+        Returns one ``fmt -> FormatFailure`` dict per matrix; formats
+        absent from a dict are feasible.  Failure strings are identical
+        to the scalar exceptions (the comparisons run on int64 arrays,
+        so the OOM threshold is exact like the scalar Python-int path).
+        """
+        n = len(batch)
+        failures: List[Dict[str, FormatFailure]] = [{} for _ in range(n)]
+        v = 4 if self.precision == "single" else 8
+        vec_bytes = (batch.n_rows + batch.n_cols) * v
+        pad_bad = None
+        ratio = None
+        if self.ell_padding_limit is not None:
+            ratio = batch.ell_padding_ratio
+            pad_bad = (batch.nnz != 0) & (ratio > self.ell_padding_limit)
+        for fmt in dict.fromkeys(formats):
+            need = format_bytes_batch(batch, fmt, self.precision) + vec_bytes
+            oom = need > self.device.global_mem_bytes
+            if fmt == "ell" and pad_bad is not None:
+                # Padding blow-up is reported before OOM, as in the
+                # scalar check.
+                for i in np.nonzero(pad_bad)[0]:
+                    i = int(i)
+                    failures[i][fmt] = FormatFailure(
+                        fmt,
+                        "KernelFailure",
+                        f"ELL padding ratio {ratio[i]:.1f} exceeds the "
+                        f"limit of {self.ell_padding_limit:g}",
+                    )
+                oom = oom & ~pad_bad
+            for i in np.nonzero(oom)[0]:
+                i = int(i)
+                failures[i][fmt] = FormatFailure(
+                    fmt,
+                    "OutOfMemoryError",
+                    f"{fmt} needs {need[i] / 1e9:.2f} GB, device has "
+                    f"{self.device.global_mem_bytes / 1e9:.2f} GB",
+                )
+        return failures
+
     # -- timing -------------------------------------------------------------
 
     def estimate(self, matrix: Union[SparseFormat, MatrixProfile], fmt: str) -> CostBreakdown:
@@ -244,21 +328,117 @@ class SpMVExecutor:
             breakdown=base,
         )
 
+    def estimate_batch(
+        self,
+        matrices: Union[ProfileBatch, Sequence[Union[SparseFormat, MatrixProfile]]],
+        formats: Optional[Sequence[str]] = None,
+    ) -> CostBreakdownBatch:
+        """Noise-free estimates for N matrices × F formats in one pass.
+
+        Results are bit-identical to per-pair :meth:`estimate` calls;
+        ``formats=None`` evaluates every registered kernel model.
+        """
+        if not isinstance(matrices, ProfileBatch):
+            matrices = ProfileBatch.from_profiles(
+                self.profile(m) for m in matrices
+            )
+        return _batch.estimate_batch(
+            matrices, formats, self.device, self.precision
+        )
+
+    def benchmark_batch(
+        self,
+        matrices: Sequence[Union[SparseFormat, MatrixProfile]],
+        *,
+        formats: Sequence[str] = FORMAT_NAMES,
+        reps: int = 50,
+    ) -> List[BenchmarkSweep]:
+        """Benchmark N matrices × F formats through one batched sweep.
+
+        Profiling, feasibility/OOM checks and the cost models all run
+        vectorized over the whole batch; only the noise sampling walks
+        the per-matrix jitter stream.  Each matrix's jitter is drawn as
+        a single block covering its feasible formats in order, which
+        reproduces the scalar per-format draws bit for bit (infeasible
+        formats consume no randomness, exactly like the scalar path
+        that raises before sampling) — so sweeps are interchangeable
+        with historical :meth:`benchmark` loops for any batch size.
+        """
+        if reps <= 0:
+            raise ValueError("reps must be positive")
+        profiles = [self.profile(m) for m in matrices]
+        batch = ProfileBatch.from_profiles(profiles)
+        failures = self.feasibility_batch(batch, formats)
+        cost = _batch.estimate_batch(
+            batch, tuple(formats), self.device, self.precision
+        )
+        col = {fmt: j for j, fmt in enumerate(cost.formats)}
+        s = self.noise.sigma_run
+        sweeps: List[BenchmarkSweep] = []
+        for i, prof in enumerate(profiles):
+            fail_i = failures[i]
+            feasible = []
+            for fmt in formats:
+                if fmt in fail_i:
+                    continue
+                if not np.isfinite(cost.seconds[i, col[fmt]]):
+                    # The scalar kernel raises ZeroDivisionError for
+                    # degenerate zero-efficiency cells (e.g. HYB on an
+                    # empty matrix); keep the labeling string identical.
+                    fail_i[fmt] = FormatFailure(
+                        fmt, "ZeroDivisionError", "float division by zero"
+                    )
+                    continue
+                feasible.append(fmt)
+            if s > 0.0 and feasible:
+                z = self.rng.standard_normal(reps * len(feasible))
+                factors = np.exp(s * z - 0.5 * s * s).reshape(len(feasible), reps)
+            else:
+                factors = np.ones((len(feasible), reps))
+            samples: Dict[str, Optional[TimingSample]] = {
+                fmt: None for fmt in formats
+            }
+            for k, fmt in enumerate(feasible):
+                j = col[fmt]
+                base_seconds = float(cost.seconds[i, j])
+                fixed = self.noise.structural_factor(
+                    prof.digest, fmt, self.device.name, self.precision
+                )
+                runs = base_seconds * fixed * factors[k]
+                mean = float(runs.mean())
+                if obs.enabled():
+                    obs.incr("gpu.benchmarks")
+                    obs.observe(f"gpu.model_seconds.{fmt}", mean)
+                flops = float(cost.flops[i, j])
+                samples[fmt] = TimingSample(
+                    fmt=fmt,
+                    device=self.device.name,
+                    precision=self.precision,
+                    seconds=mean,
+                    std_seconds=float(runs.std()),
+                    reps=reps,
+                    gflops=flops / mean / 1e9 if mean > 0 else 0.0,
+                    breakdown=cost.at(i, j),
+                )
+            sweeps.append(BenchmarkSweep(samples, fail_i))
+        return sweeps
+
     def benchmark_all(
         self,
         matrix: Union[SparseFormat, MatrixProfile],
         *,
         formats=FORMAT_NAMES,
         reps: int = 50,
-    ) -> Dict[str, Optional[TimingSample]]:
-        """Benchmark every format; failed formats map to ``None``."""
-        out: Dict[str, Optional[TimingSample]] = {}
-        for fmt in formats:
-            try:
-                out[fmt] = self.benchmark(matrix, fmt, reps=reps)
-            except SimulationError:
-                out[fmt] = None
-        return out
+    ) -> BenchmarkSweep:
+        """Benchmark every format in one batched sweep.
+
+        Returns a :class:`BenchmarkSweep`: still a ``fmt -> sample``
+        dict with ``None`` for failed formats, but the profile/analysis
+        work is shared across formats (one vectorized pass instead of a
+        per-format loop) and ``sweep.failures`` carries the structured
+        per-format failure reasons the old API swallowed.
+        """
+        return self.benchmark_batch([matrix], formats=formats, reps=reps)[0]
 
     # -- numeric execution ---------------------------------------------------
 

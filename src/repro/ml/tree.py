@@ -20,7 +20,10 @@ per-node ``np.argsort(kind="stable")`` implementation, so splits,
 thresholds and predictions are bit-for-bit unchanged (asserted by
 ``tests/test_ml_presort_equivalence.py``).  ``presort=False`` keeps the
 historical per-node sorting path selectable — the perf harness uses it
-as its before/after baseline.
+as its before/after baseline.  Fits smaller than
+:data:`PRESORT_MIN_SAMPLES` dispatch to the per-node path even under
+``presort=True``: there the root argsort and index bookkeeping cost
+more than they save.
 """
 
 from __future__ import annotations
@@ -32,7 +35,14 @@ import numpy as np
 
 from .base import BaseEstimator, check_X, check_X_y
 
-__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor", "PRESORT_MIN_SAMPLES"]
+
+#: Sample count below which ``presort=True`` fits dispatch to the
+#: per-node sorting path anyway.  Measured crossover on the labeling
+#: feature matrices: presort is ~0.94x at n=36 and only breaks even
+#: around n≈128, gaining 1.1–1.15x from n≈256 up.  Both paths build
+#: bit-identical trees, so the threshold affects speed only.
+PRESORT_MIN_SAMPLES = 128
 
 
 @dataclass
@@ -169,15 +179,19 @@ class _BaseTree(BaseEstimator):
         self._rng = np.random.default_rng(self.seed)
         n = X.shape[0]
         idx = np.arange(n)
-        if self.presort:
+        if self.presort and n >= PRESORT_MIN_SAMPLES:
             # One stable argsort per feature for the whole fit; nodes
             # below only partition these index lists, never re-sort.
             sorted_idx = np.ascontiguousarray(np.argsort(X, axis=0, kind="stable").T)
             self._left_buf = np.empty(n, dtype=bool)
         else:
+            # Below the crossover the root argsort plus per-node index
+            # bookkeeping costs more than re-sorting tiny nodes, so fall
+            # back to the per-node splitter.  Both paths produce
+            # bit-identical trees, so this is purely a dispatch choice.
             sorted_idx = None
         self.root_ = self._build(X, y, idx, sorted_idx, depth=0)
-        if self.presort:
+        if sorted_idx is not None:
             del self._left_buf
         total = self.feature_importances_.sum()
         if total > 0:

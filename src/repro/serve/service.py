@@ -36,7 +36,8 @@ import numpy as np
 
 from ..analysis import analyze_matrix
 from ..features import ALL_FEATURES, FEATURE_SETS
-from ..formats import CSRMatrix, SparseFormat
+from ..formats import CSRMatrix, FORMAT_NAMES, SparseFormat
+from ..gpu.batch import ProfileBatch
 from ..gpu.cache import LRUCache
 from .feedback import FeedbackLog
 from .telemetry import ServiceTelemetry
@@ -100,6 +101,15 @@ class SelectionService:
         (required for ``indirect`` and ``hybrid`` modes).
     mode:
         ``"direct"``, ``"indirect"`` or ``"hybrid"``.
+    simulator:
+        Optional :class:`~repro.gpu.SpMVExecutor` backend.  When set,
+        the per-format times of ``indirect``/``hybrid`` decisions for
+        *matrix* inputs come from one vectorised
+        :meth:`~repro.gpu.SpMVExecutor.estimate_batch` sweep over the
+        whole miss batch (infeasible formats masked to ``inf``) instead
+        of the regressor; dict/vector inputs — which carry no structural
+        profile — still require a ``predictor``.  A simulator alone can
+        back ``indirect`` mode.
     tolerance:
         Hybrid-mode slack: the classifier's pick survives while its
         predicted time is ≤ ``(1 + tolerance) ×`` the predicted best.
@@ -115,6 +125,7 @@ class SelectionService:
         selector=None,
         predictor=None,
         *,
+        simulator=None,
         mode: str = "direct",
         tolerance: float = 0.1,
         feature_cache_size: Optional[int] = 512,
@@ -126,12 +137,13 @@ class SelectionService:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if mode in ("direct", "hybrid") and selector is None:
             raise ValueError(f"{mode!r} mode requires a selector")
-        if mode in ("indirect", "hybrid") and predictor is None:
-            raise ValueError(f"{mode!r} mode requires a predictor")
+        if mode in ("indirect", "hybrid") and predictor is None and simulator is None:
+            raise ValueError(f"{mode!r} mode requires a predictor or a simulator")
         if tolerance < 0:
             raise ValueError("tolerance must be >= 0")
         self.selector = selector
         self.predictor = predictor
+        self.simulator = simulator
         self.mode = mode
         self.tolerance = float(tolerance)
 
@@ -172,6 +184,10 @@ class SelectionService:
             raise ValueError(
                 f"selector formats {fmts[0]} != predictor formats {fmts[1]}"
             )
+        if not fmts:
+            # Simulator-only service: the kernel models cover the
+            # paper's full format vocabulary.
+            return tuple(FORMAT_NAMES)
         return fmts[0]
 
     @classmethod
@@ -216,8 +232,14 @@ class SelectionService:
 
     # -- featurisation -----------------------------------------------------
 
-    def _featurize(self, item) -> Tuple[Tuple[str, ...], np.ndarray, object, bool]:
-        """Normalise one request item to ``(names, vector, cache_key, hit)``.
+    def _featurize(self, item):
+        """Normalise one request item.
+
+        Returns ``(names, vector, cache_key, hit, profile)`` — the
+        structural :class:`~repro.gpu.MatrixProfile` is only available
+        for matrix inputs (``None`` otherwise); the simulator backend
+        needs it, and :func:`repro.analysis.analyze_matrix` produces it
+        from the same shared scan as the features.
 
         Accepted items: a sparse matrix (any :class:`SparseFormat` /
         :class:`CSRMatrix`), a feature dict, or a 1-D vector ordered
@@ -234,21 +256,21 @@ class SelectionService:
             if self._feature_cache is not None:
                 cached = self._feature_cache.get(key)
                 if cached is not None:
-                    return cached[0], cached[1], key, True
+                    return cached[0], cached[1], key, True, cached[2]
             analysis = analyze_matrix(csr)
             vec = np.array(
                 [analysis.features[n] for n in ALL_FEATURES], dtype=np.float64
             )
             if self._feature_cache is not None:
-                self._feature_cache.put(key, (tuple(ALL_FEATURES), vec))
-            return tuple(ALL_FEATURES), vec, key, False
+                self._feature_cache.put(key, (tuple(ALL_FEATURES), vec, analysis.profile))
+            return tuple(ALL_FEATURES), vec, key, False, analysis.profile
 
         if isinstance(item, Mapping):
             missing = [n for n in ALL_FEATURES if n not in item]
             if missing:
                 raise ValueError(f"feature dict is missing {missing}")
             vec = np.array([float(item[n]) for n in ALL_FEATURES], dtype=np.float64)
-            return tuple(ALL_FEATURES), vec, ("d", vec.tobytes()), False
+            return tuple(ALL_FEATURES), vec, ("d", vec.tobytes()), False, None
 
         vec = np.asarray(item, dtype=np.float64)
         if vec.ndim != 1:
@@ -257,7 +279,7 @@ class SelectionService:
                 f"got array of shape {vec.shape}"
             )
         names = self._vector_names(vec.size)
-        return names, vec, ("v", names, vec.tobytes()), False
+        return names, vec, ("v", names, vec.tobytes()), False, None
 
     def _vector_names(self, size: int) -> Tuple[str, ...]:
         """Feature-name order implied by a raw vector's length."""
@@ -288,13 +310,36 @@ class SelectionService:
 
     # -- selection ---------------------------------------------------------
 
+    def _simulate_times(self, profiles: Sequence) -> np.ndarray:
+        """Per-format times from one batched simulator sweep.
+
+        All N profiles × F formats are estimated in a single vectorised
+        :meth:`~repro.gpu.SpMVExecutor.estimate_batch` call; formats the
+        device cannot run (OOM, padding blow-up, degenerate kernels) are
+        masked to ``inf`` so argmin/hybrid logic avoids them.
+        """
+        ex = self.simulator
+        batch = ProfileBatch.from_profiles(profiles)
+        cost = ex.estimate_batch(batch, self.formats)
+        seconds = cost.seconds.copy()
+        for i, failed in enumerate(ex.feasibility_batch(batch, self.formats)):
+            for fmt in failed:
+                seconds[i, cost.column(fmt)] = np.inf
+        seconds[~np.isfinite(seconds)] = np.inf
+        return seconds
+
     def _decide_batch(
-        self, X: np.ndarray, names: Tuple[str, ...]
+        self,
+        X: np.ndarray,
+        names: Tuple[str, ...],
+        profiles: Optional[Sequence] = None,
     ) -> List[Tuple[int, Optional[np.ndarray], Optional[int]]]:
         """Run the configured strategy over a stacked miss batch.
 
-        Returns per row: ``(chosen_index, predicted_times|None,
-        direct_index|None)``.
+        ``profiles`` (parallel to the rows of ``X``) routes the
+        indirect/hybrid time estimates through the simulator backend;
+        ``None`` uses the regressor.  Returns per row:
+        ``(chosen_index, predicted_times|None, direct_index|None)``.
         """
         n = X.shape[0]
         direct = None
@@ -302,9 +347,12 @@ class SelectionService:
         if self.mode in ("direct", "hybrid"):
             direct = self.selector.predict(self._project(X, names, self._sel_names))
         if self.mode in ("indirect", "hybrid"):
-            times = self.predictor.predict(
-                self._project(X, names, self._pred_names)
-            )
+            if profiles is not None:
+                times = self._simulate_times(profiles)
+            else:
+                times = self.predictor.predict(
+                    self._project(X, names, self._pred_names)
+                )
         out = []
         for i in range(n):
             t_i = times[i] if times is not None else None
@@ -347,13 +395,35 @@ class SelectionService:
         if len(request_ids) != len(items):
             raise ValueError("request_ids length mismatch")
 
+        needs_times = self.mode in ("indirect", "hybrid")
         f_hits = f_misses = d_hits = d_misses = 0
-        prepared = []  # (names, vec, decision_key, cached_payload|None)
+        prepared = []  # (names, vec, decision_key, cached_payload|None, profile)
         for item in items:
-            names, vec, fkey, f_hit = self._featurize(item)
+            names, vec, fkey, f_hit, prof = self._featurize(item)
             f_hits += f_hit
             f_misses += not f_hit
-            dkey = ("dec", names, vec.tobytes(), self.mode, self.tolerance)
+            use_sim = needs_times and self.simulator is not None and prof is not None
+            if needs_times and not use_sim and self.predictor is None:
+                raise ValueError(
+                    f"{self.mode!r} mode with only a simulator backend "
+                    "requires matrix inputs (dict/vector items carry no "
+                    "structural profile)"
+                )
+            if use_sim:
+                # Simulator decisions depend on the full structural
+                # profile (not just the 17 features) and on the backend
+                # device/precision — key them by structure digest.
+                dkey = (
+                    "dec-sim",
+                    prof.digest,
+                    self.mode,
+                    self.tolerance,
+                    self.simulator.device.name,
+                    self.simulator.precision,
+                )
+            else:
+                prof = None  # regressor path: profile is irrelevant
+                dkey = ("dec", names, vec.tobytes(), self.mode, self.tolerance)
             payload = (
                 self._decision_cache.get(dkey)
                 if self._decision_cache is not None
@@ -361,23 +431,26 @@ class SelectionService:
             )
             d_hits += payload is not None
             d_misses += payload is None
-            prepared.append((names, vec, dkey, payload))
+            prepared.append((names, vec, dkey, payload, prof))
 
-        # One vectorised model call per distinct feature order, over the
-        # *unique* decision keys only — duplicates share one model row.
+        # One vectorised model call per distinct (feature order, backend)
+        # group, over the *unique* decision keys only — duplicates share
+        # one model row.
         miss_items: Dict[Tuple, List[int]] = {}   # dkey -> item indices
-        miss_keys: Dict[Tuple[str, ...], List[Tuple]] = {}  # order -> keys
-        for i, (names, _, dkey, payload) in enumerate(prepared):
+        miss_keys: Dict[Tuple, List[Tuple]] = {}  # (order, sim?) -> keys
+        for i, (names, _, dkey, payload, prof) in enumerate(prepared):
             if payload is None:
                 rows = miss_items.setdefault(dkey, [])
                 if not rows:
-                    miss_keys.setdefault(names, []).append(dkey)
+                    miss_keys.setdefault((names, prof is not None), []).append(dkey)
                 rows.append(i)
         t_model0 = time.perf_counter()
         results: Dict[int, Tuple[int, Optional[np.ndarray], Optional[int]]] = {}
-        for names, keys in miss_keys.items():
-            X = np.stack([prepared[miss_items[k][0]][1] for k in keys])
-            for dkey, res in zip(keys, self._decide_batch(X, names)):
+        for (names, use_sim), keys in miss_keys.items():
+            first_rows = [prepared[miss_items[k][0]] for k in keys]
+            X = np.stack([row[1] for row in first_rows])
+            profiles = [row[4] for row in first_rows] if use_sim else None
+            for dkey, res in zip(keys, self._decide_batch(X, names, profiles)):
                 for i in miss_items[dkey]:
                     results[i] = res
                 if self._decision_cache is not None:
@@ -399,7 +472,7 @@ class SelectionService:
                     rid = f"r{self._next_id:06d}"
                     self._next_id += 1
                 ids.append(str(rid))
-        for i, ((names, vec, dkey, payload), rid) in enumerate(zip(prepared, ids)):
+        for i, ((names, vec, dkey, payload, _prof), rid) in enumerate(zip(prepared, ids)):
             cached = payload is not None
             chosen_idx, times, direct_idx = payload if cached else results[i]
             decision = Decision(
@@ -465,6 +538,13 @@ class SelectionService:
             "formats": list(self.formats),
             "selector": getattr(self.selector, "model_name", None),
             "predictor": getattr(self.predictor, "model_name", None),
+            "simulator": (
+                None if self.simulator is None
+                else {
+                    "device": self.simulator.device.name,
+                    "precision": self.simulator.precision,
+                }
+            ),
             # Registry provenance, so network clients can see which
             # model build served them (empty for in-process models).
             "models": {

@@ -57,7 +57,7 @@ class TestDerived:
 class TestValidation:
     def test_rejects_unknown_arch(self):
         with pytest.raises(ValueError, match="arch"):
-            KEPLER_K40C.with_overrides(arch="volta")
+            KEPLER_K40C.with_overrides(arch="fermi")
 
     def test_rejects_nonpositive_fields(self):
         with pytest.raises(ValueError, match="positive"):

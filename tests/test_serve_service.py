@@ -300,3 +300,60 @@ class TestThreads:
         snap = service.telemetry.snapshot()
         assert snap["requests"] == 100
         assert snap["feedback"]["count"] == 100
+
+
+class TestSimulatorBackend:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        from repro.gpu import DEVICES, SpMVExecutor
+
+        return SpMVExecutor(DEVICES["v100"], "single", seed=0)
+
+    def test_simulator_alone_backs_indirect(self, simulator, matrices):
+        service = SelectionService(simulator=simulator, mode="indirect")
+        decision = service.predict(matrices[0])
+        # The pick is the simulator's own fastest feasible format.
+        est = {
+            fmt: simulator.estimate(matrices[0], fmt).seconds
+            for fmt in service.formats
+        }
+        assert decision.chosen == min(est, key=est.get)
+        assert decision.predicted_times[decision.chosen] == est[decision.chosen]
+
+    def test_infeasible_formats_masked(self, simulator, matrices):
+        from repro.gpu import DEVICES, SpMVExecutor
+
+        strict = SpMVExecutor(DEVICES["k40c"], "single",
+                              ell_padding_limit=1.01)
+        service = SelectionService(simulator=strict, mode="indirect")
+        skewed = next(m for m in matrices
+                      if strict.profile(m).nnz_max > 2 * strict.profile(m).nnz_mu)
+        decision = service.predict(skewed)
+        assert decision.predicted_times["ell"] == np.inf
+        assert decision.chosen != "ell"
+
+    def test_dict_input_requires_predictor(self, simulator, matrices):
+        service = SelectionService(simulator=simulator, mode="indirect")
+        with pytest.raises(ValueError, match="matrix inputs"):
+            service.predict(extract_features(matrices[0]))
+
+    def test_hybrid_with_simulator_times(self, selector, simulator, matrices):
+        service = SelectionService(selector, simulator=simulator, mode="hybrid")
+        decision = service.predict(matrices[1])
+        assert decision.direct_choice in service.formats
+        assert decision.predicted_times is not None
+
+    def test_decision_cache_keyed_by_structure(self, simulator, matrices):
+        service = SelectionService(simulator=simulator, mode="indirect")
+        first = service.predict(matrices[2])
+        again = service.predict(matrices[2])
+        assert again.cached and not first.cached
+        assert again.chosen == first.chosen
+
+    def test_stats_surface(self, simulator, matrices):
+        service = SelectionService(simulator=simulator, mode="indirect")
+        service.predict(matrices[0])
+        assert service.stats()["service"]["simulator"] == {
+            "device": "Tesla V100",
+            "precision": "single",
+        }
