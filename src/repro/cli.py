@@ -20,7 +20,12 @@ Subcommands cover the full workflow a downstream user needs:
 * ``serve``    — load registry models and serve format decisions:
   one-shot over ``.mtx`` files, a JSON-lines stdin/stdout daemon, or a
   concurrent socket server (``--listen HOST:PORT``) micro-batching
-  requests across client connections.
+  requests across client connections.  ``--adaptive`` attaches the
+  online-learning loop: feedback-driven retraining, shadow evaluation
+  and regret-gated auto-promotion (knobs: ``--adapt-*``).
+* ``adapt``    — inspect and drive the adaptive-promotion machinery
+  offline: ``status``, the ``history`` audit trail, manual ``promote``
+  and ``rollback`` of the production alias.
 * ``perf``     — run the tracked performance benchmarks (one-pass
   analysis, presorted tree/boosting fits, serving latency, obs
   overhead) and write ``BENCH_<date>.json``.
@@ -190,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "request/response daemon on stdin/stdout, or a concurrent "
         "socket server (--listen) micro-batching requests across "
         "client connections (ops: predict, feedback, stats, metrics, "
-        "shutdown).",
+        "shutdown; with --adaptive also adaptive, promote, rollback).",
     )
     p.add_argument("--registry", type=Path, required=True, help="registry root dir")
     p.add_argument("--selector", default=None, help="selector name in the registry")
@@ -223,7 +228,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot-every", type=int, default=None, metavar="N",
                    help="daemon mode: emit a full observability snapshot to "
                    "the obs event sink every N served requests")
+    p.add_argument("--adaptive", action="store_true",
+                   help="attach the online-learning loop (requires "
+                   "--selector): accumulate feedback into training rows, "
+                   "retrain candidates, shadow-evaluate them against "
+                   "production and auto-promote behind the regret gate; "
+                   "adds daemon ops adaptive/promote/rollback")
+    p.add_argument("--adapt-min-samples", type=int, default=50, metavar="N",
+                   help="adaptive: paired feedback events required before "
+                   "the promotion gate opens")
+    p.add_argument("--adapt-min-improvement", type=float, default=0.05,
+                   metavar="FRAC",
+                   help="adaptive: required relative mean-regret improvement "
+                   "of the candidate over production")
+    p.add_argument("--adapt-cooldown", type=float, default=0.0, metavar="SEC",
+                   help="adaptive: minimum seconds between promotions")
+    p.add_argument("--adapt-train-every", type=int, default=64, metavar="N",
+                   help="adaptive: train a fresh candidate every N new "
+                   "experience rows")
     p.add_argument("files", nargs="*", type=Path, help=".mtx files (one-shot mode)")
+
+    p = sub.add_parser(
+        "adapt",
+        help="inspect and drive adaptive promotions offline",
+        description="Operate the adaptive-promotion machinery against a "
+        "registry on disk: show the production alias and version stack "
+        "(status), print the PROMOTIONS.jsonl audit trail (history), "
+        "move the alias with an audited reason (promote), or revert it "
+        "to the previous version from the trail (rollback).  A live "
+        "daemon exposes the same operations as adaptive/promote/"
+        "rollback protocol ops.",
+    )
+    asub = p.add_subparsers(dest="adapt_command", required=True)
+
+    ap = asub.add_parser("status", help="production alias + version stack")
+    ap.add_argument("--registry", type=Path, required=True)
+    ap.add_argument("--name", required=True)
+
+    ap = asub.add_parser("history", help="print the promotion audit trail")
+    ap.add_argument("--registry", type=Path, required=True)
+    ap.add_argument("--name", required=True)
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit raw JSON-lines instead of a table")
+
+    ap = asub.add_parser("promote", help="promote a version with an audit reason")
+    ap.add_argument("--registry", type=Path, required=True)
+    ap.add_argument("--name", required=True)
+    ap.add_argument("--version", required=True)
+    ap.add_argument("--reason", default="manual")
+
+    ap = asub.add_parser("rollback",
+                         help="revert production to the previous version")
+    ap.add_argument("--registry", type=Path, required=True)
+    ap.add_argument("--name", required=True)
+    ap.add_argument("--reason", default="manual")
 
     p = sub.add_parser(
         "perf",
@@ -575,6 +633,25 @@ def _cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.adaptive:
+        from .serve import AdaptiveController, PromotionPolicy
+
+        if args.selector is None:
+            print("error: --adaptive requires --selector (candidates are "
+                  "retrained selectors)", file=sys.stderr)
+            return 1
+        AdaptiveController(
+            service,
+            args.registry,
+            args.selector,
+            policy=PromotionPolicy(
+                min_samples=args.adapt_min_samples,
+                min_improvement=args.adapt_min_improvement,
+                cooldown_s=args.adapt_cooldown,
+            ),
+            train_every=args.adapt_train_every,
+        )
+
     if args.listen is not None:
         from .serve import SelectionServer
 
@@ -626,6 +703,73 @@ def _cmd_serve(args) -> int:
         print(f"{path.name}: {decision.chosen}{extra}")
     if args.stats:
         print(json.dumps(service.stats(), indent=2))
+    return 0
+
+
+def _cmd_adapt(args) -> int:
+    from .serve import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.adapt_command == "status":
+            versions = registry.versions(args.name)
+            if not versions:
+                print(f"error: unknown model {args.name!r} under "
+                      f"{args.registry}", file=sys.stderr)
+                return 1
+            prod = registry.production_version(args.name)
+            history = registry.promotion_history(args.name)
+            print(f"model: {args.name}")
+            print(f"production: {prod or '(none)'}")
+            print(f"versions: {', '.join(versions)}")
+            if history:
+                last = history[-1]
+                print(f"last move: {last.get('action')} -> "
+                      f"{last.get('version')} at {last.get('ts')} "
+                      f"({last.get('reason', '-')})")
+        elif args.adapt_command == "history":
+            history = registry.promotion_history(args.name)
+            if not history:
+                print("(no promotion history)")
+                return 0
+            if args.as_json:
+                for entry in history:
+                    print(json.dumps(entry, sort_keys=True))
+            else:
+                for entry in history:
+                    stats = entry.get("stats") or {}
+                    extra = ""
+                    if stats:
+                        extra = (f" [paired={stats.get('n_paired')} "
+                                 f"improvement={stats.get('improvement', 0):+.1%}]")
+                    print(f"{entry.get('ts')} {entry.get('action'):8s} "
+                          f"{entry.get('previous') or '-'} -> "
+                          f"{entry.get('version')} "
+                          f"({entry.get('reason', '-')}){extra}")
+        elif args.adapt_command == "promote":
+            record = registry.promote(
+                args.name, args.version, reason=args.reason
+            )
+            print(f"promoted {record.name}:{record.version} to production "
+                  f"(reason: {args.reason})")
+        else:  # rollback
+            previous = None
+            for entry in reversed(registry.promotion_history(args.name)):
+                if entry.get("action") in ("promote", "rollback"):
+                    previous = entry.get("previous")
+                    break
+            if previous is None:
+                print(f"error: no previous production version of "
+                      f"{args.name!r} to roll back to", file=sys.stderr)
+                return 1
+            record = registry.promote(
+                args.name, previous, action="rollback", reason=args.reason
+            )
+            print(f"rolled back {record.name} to {record.version} "
+                  f"(reason: {args.reason})")
+    except (RegistryError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -716,6 +860,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "registry": _cmd_registry,
     "serve": _cmd_serve,
+    "adapt": _cmd_adapt,
     "perf": _cmd_perf,
     "obs": _cmd_obs,
 }

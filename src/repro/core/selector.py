@@ -198,6 +198,54 @@ class FormatSelector:
         self.estimator.fit(X, np.asarray(y))
         return self
 
+    @property
+    def supports_warm_start(self) -> bool:
+        """Whether the wrapped estimator can continue training in place.
+
+        True for the MLP and boosting families (single or pipeline-
+        wrapped); trees and SVMs retrain from scratch instead.
+        """
+        est = self.estimator
+        if isinstance(est, Pipeline):
+            est = est.steps[-1][1]
+        return hasattr(est, "warm_fit")
+
+    def warm_fit(
+        self,
+        data: Union[SpMVDataset, np.ndarray],
+        y: Optional[np.ndarray] = None,
+        **kw,
+    ) -> "FormatSelector":
+        """Continue training the fitted estimator on new rows (in place).
+
+        The online-learning entry point: accumulated serving feedback
+        becomes extra training rows without a cold refit.  Requires a
+        warm-startable model family (see :attr:`supports_warm_start`)
+        and — for dataset inputs — the format vocabulary the selector
+        was fitted with.  Extra keyword arguments (e.g. ``n_epochs``,
+        ``n_rounds``) reach the estimator's ``warm_fit``.
+        """
+        if not self.supports_warm_start:
+            raise ValueError(
+                f"model {self.model_name!r} does not support warm-start "
+                "training; refit from scratch instead"
+            )
+        if isinstance(data, SpMVDataset):
+            fitted = getattr(self, "formats_", None)
+            if fitted is not None and tuple(data.formats) != tuple(fitted):
+                raise ValueError(
+                    f"warm_fit dataset formats {tuple(data.formats)} do not "
+                    f"match the fitted vocabulary {tuple(fitted)}"
+                )
+            X = data.X(self.feature_set)
+            y = data.labels
+        else:
+            if y is None:
+                raise ValueError("y is required when warm-fitting on a raw array")
+            X = np.asarray(data)
+        self.estimator.warm_fit(X, np.asarray(y), **kw)
+        return self
+
     # -- prediction ---------------------------------------------------------
 
     def predict(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:

@@ -284,6 +284,20 @@ class _BaseBooster(BaseEstimator):
         k = max(1, int(round(self.subsample * n)))
         return rng.choice(n, size=k, replace=False)
 
+    def _warm_setup(self, X: np.ndarray, n_rounds) -> tuple:
+        """Shared warm-start plumbing: round count, derived RNG,
+        importance accumulators (absent after a registry round-trip)."""
+        rounds = self.n_estimators if n_rounds is None else int(n_rounds)
+        if rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        # A fresh derived RNG per warm round keeps repeated warm fits
+        # deterministic without replaying the cold fit's stream.
+        rng = np.random.default_rng((self.seed, 0x5EED, len(self.trees_)))
+        if not hasattr(self, "_gain_acc"):
+            self._gain_acc = np.zeros(X.shape[1])
+            self._fscore_acc = np.zeros(X.shape[1], dtype=np.int64)
+        return rounds, rng
+
 
 class GradientBoostingRegressor(_BaseBooster):
     """Squared-error gradient boosting (g = residual, h = 1)."""
@@ -319,6 +333,37 @@ class GradientBoostingRegressor(_BaseBooster):
                             time.perf_counter() - round_start)
         if track:
             obs.record_span("ml.boosting.fit", time.perf_counter() - fit_start)
+        self._finalise_importance()
+        return self
+
+    def warm_fit(
+        self, X: np.ndarray, y: np.ndarray, n_rounds=None
+    ) -> "GradientBoostingRegressor":
+        """Append boosting rounds fitted on new rows (in place).
+
+        The existing ensemble's predictions on ``X`` seed the gradient,
+        so new trees correct the old model on the new data — the
+        XGBoost continuation scheme.  ``n_rounds`` defaults to
+        ``n_estimators``; online refreshes typically pass fewer.
+        """
+        self._require_fitted("trees_", "base_score_")
+        self._check_hyper()
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        rounds, rng = self._warm_setup(X, n_rounds)
+        pred = self.predict(X)
+        root_sorted = self._root_sort(X)
+        for _ in range(rounds):
+            idx = self._subsample_idx(y.size, rng)
+            g = pred[idx] - y[idx]
+            h = np.ones_like(g)
+            if root_sorted is not None:
+                tree = self._new_tree().fit(X, g, h, sorted_idx=root_sorted)
+            else:
+                tree = self._new_tree().fit(X[idx], g, h)
+            self.trees_.append(tree)
+            self._accumulate_importance(tree)
+            pred += self.learning_rate * tree.predict(X)
         self._finalise_importance()
         return self
 
@@ -378,6 +423,51 @@ class GradientBoostingClassifier(_BaseBooster):
                             time.perf_counter() - round_start)
         if track:
             obs.record_span("ml.boosting.fit", time.perf_counter() - fit_start)
+        self._finalise_importance()
+        return self
+
+    def warm_fit(
+        self, X: np.ndarray, y: np.ndarray, n_rounds=None
+    ) -> "GradientBoostingClassifier":
+        """Append boosting rounds fitted on new rows (in place).
+
+        Continues the softmax boosting from the current ensemble's
+        margins on ``X``; the class vocabulary is frozen by the cold
+        fit, so labels must stay below ``n_classes_``.
+        """
+        self._require_fitted("trees_", "n_classes_")
+        self._check_hyper()
+        X, y = check_X_y(X, y)
+        y = y.astype(np.int64)
+        if y.min() < 0 or y.max() >= self.n_classes_:
+            raise ValueError(
+                f"warm_fit labels must stay within the fitted "
+                f"{self.n_classes_} classes; got range [{y.min()}, {y.max()}]"
+            )
+        rounds, rng = self._warm_setup(X, n_rounds)
+        K = self.n_classes_
+        n = y.size
+        onehot = np.zeros((n, K))
+        onehot[np.arange(n), y] = 1.0
+        margins = self.decision_function(X)
+        root_sorted = self._root_sort(X)
+        for _ in range(rounds):
+            m = margins - margins.max(axis=1, keepdims=True)
+            e = np.exp(m)
+            p = e / e.sum(axis=1, keepdims=True)
+            idx = self._subsample_idx(n, rng)
+            round_trees: List[_BoostTree] = []
+            for k in range(K):
+                g = p[idx, k] - onehot[idx, k]
+                h = np.maximum(p[idx, k] * (1.0 - p[idx, k]), 1e-6)
+                if root_sorted is not None:
+                    tree = self._new_tree().fit(X, g, h, sorted_idx=root_sorted)
+                else:
+                    tree = self._new_tree().fit(X[idx], g, h)
+                round_trees.append(tree)
+                self._accumulate_importance(tree)
+                margins[:, k] += self.learning_rate * tree.predict(X)
+            self.trees_.append(round_trees)
         self._finalise_importance()
         return self
 

@@ -15,7 +15,7 @@ implementation:
 from __future__ import annotations
 
 import time
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -106,14 +106,42 @@ class _BaseMLP(BaseEstimator):
             acts.append(h)
         return acts
 
-    def _fit_core(self, X: np.ndarray, y: np.ndarray) -> None:
-        if self.batch_size < 1 or self.n_epochs < 1:
+    def _fit_core(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        warm: bool = False,
+        n_epochs: Optional[int] = None,
+    ) -> None:
+        epochs = self.n_epochs if n_epochs is None else int(n_epochs)
+        if self.batch_size < 1 or epochs < 1:
             raise ValueError("batch_size and n_epochs must be >= 1")
-        rng = np.random.default_rng(self.seed)
         n, d = X.shape
         out_dim = self._output_dim(y)
         target = self._prepare_targets(y)
-        self._init_weights(d, out_dim, rng)
+        if warm:
+            # Continue Adam from the current weights (online / warm-start
+            # training): no re-initialisation, a fresh derived RNG per
+            # warm round so repeated warm fits stay deterministic but
+            # don't replay the cold fit's permutation stream.
+            self._require_fitted("weights_")
+            if self.weights_[0].shape[0] != d:
+                raise ValueError(
+                    f"warm_fit X has {d} features, model expects "
+                    f"{self.weights_[0].shape[0]}"
+                )
+            if self.weights_[-1].shape[1] != out_dim:
+                raise ValueError(
+                    f"warm_fit target dimension {out_dim} does not match the "
+                    f"fitted output layer ({self.weights_[-1].shape[1]})"
+                )
+            round_ = getattr(self, "n_warm_fits_", 0)
+            rng = np.random.default_rng((self.seed, 0x5EED, round_))
+            self.n_warm_fits_ = round_ + 1
+        else:
+            rng = np.random.default_rng(self.seed)
+            self._init_weights(d, out_dim, rng)
         shapes = [w.shape for w in self.weights_] + [b.shape for b in self.biases_]
         adam = _AdamState(shapes)
         n_layers = len(self.weights_)
@@ -121,7 +149,7 @@ class _BaseMLP(BaseEstimator):
         # the enabled flag once so the epoch loop stays a single branch.
         track = obs.enabled()
         fit_start = time.perf_counter() if track else 0.0
-        for _ in range(self.n_epochs):
+        for _ in range(epochs):
             epoch_start = time.perf_counter() if track else 0.0
             order = rng.permutation(n)
             for start in range(0, n, self.batch_size):
@@ -184,6 +212,28 @@ class MLPClassifier(_BaseMLP):
         p = e / e.sum(axis=1, keepdims=True)
         return p - target
 
+    def warm_fit(
+        self, X: np.ndarray, y: np.ndarray, n_epochs: Optional[int] = None
+    ) -> "MLPClassifier":
+        """Continue training the fitted network on new rows (in place).
+
+        The class vocabulary is frozen by the cold fit — labels must
+        stay below ``n_classes_``.  ``n_epochs`` defaults to the
+        constructor setting; online refreshes typically pass a much
+        smaller count.
+        """
+        self._require_fitted("weights_", "n_classes_")
+        X, y = check_X_y(X, y)
+        y = y.astype(np.int64)
+        if y.min() < 0 or y.max() >= self.n_classes_:
+            raise ValueError(
+                f"warm_fit labels must stay within the fitted "
+                f"{self.n_classes_} classes; got range "
+                f"[{y.min()}, {y.max()}]"
+            )
+        self._fit_core(X, y, warm=True, n_epochs=n_epochs)
+        return self
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         z = self._raw_output(X)
         z -= z.max(axis=1, keepdims=True)
@@ -216,6 +266,19 @@ class MLPRegressor(_BaseMLP):
 
     def _output_grad(self, out: np.ndarray, target: np.ndarray) -> np.ndarray:
         return 2.0 * (out - target)
+
+    def warm_fit(
+        self, X: np.ndarray, y: np.ndarray, n_epochs: Optional[int] = None
+    ) -> "MLPRegressor":
+        """Continue training the fitted network on new rows (in place).
+
+        The target standardisation moments are frozen by the cold fit
+        so the output head stays calibrated across warm rounds.
+        """
+        self._require_fitted("weights_")
+        X, y = check_X_y(X, y)
+        self._fit_core(X, y.astype(np.float64), warm=True, n_epochs=n_epochs)
+        return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         z = self._raw_output(X)[:, 0]
@@ -260,6 +323,13 @@ class _BaseEnsemble(BaseEstimator):
             )
             member.fit(X, y)
             self.members_.append(member)
+        return self
+
+    def warm_fit(self, X: np.ndarray, y: np.ndarray, n_epochs=None):
+        """Warm-start every member on the new rows (in place)."""
+        self._require_fitted("members_")
+        for member in self.members_:
+            member.warm_fit(X, y, n_epochs=n_epochs)
         return self
 
 

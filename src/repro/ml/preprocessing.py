@@ -145,6 +145,22 @@ class Pipeline(BaseEstimator):
         self._final.fit(X, y)
         return self
 
+    def warm_fit(self, X: np.ndarray, y: Optional[np.ndarray] = None, **kw) -> "Pipeline":
+        """Warm-start the final estimator on new rows (in place).
+
+        The transformer steps are **not** refitted: the scaling the
+        final estimator's weights were trained against must stay fixed
+        across warm rounds, so new rows are pushed through the already
+        fitted transforms.
+        """
+        final = self._final
+        if not hasattr(final, "warm_fit"):
+            raise AttributeError(
+                f"final step {type(final).__name__} does not support warm_fit"
+            )
+        final.warm_fit(self._transform(X), y, **kw)
+        return self
+
     def _transform(self, X: np.ndarray) -> np.ndarray:
         for _, step in self.steps[:-1]:
             X = step.transform(X)

@@ -9,8 +9,20 @@ backpressure and graceful drain (:class:`SelectionServer`,
 :class:`MicroBatcher`), and close the loop with observed-execution
 feedback, regret tracking and latency/cache telemetry
 (:class:`FeedbackLog`, :class:`ServiceTelemetry`, :func:`serve_jsonl`).
+:class:`AdaptiveController` closes the loop end to end: feedback-driven
+warm-restart retraining, shadow evaluation of candidates, regret-gated
+auto-promotion with an audited registry trail, and drift detection.
 """
 
+from .adaptive import (
+    AdaptiveController,
+    AdaptiveError,
+    DriftMonitor,
+    ExperienceBuffer,
+    PageHinkley,
+    PromotionPolicy,
+    ShadowScoreboard,
+)
 from .batcher import MicroBatcher, QueueFull
 from .daemon import handle_request, resolve_predict_item, serve_jsonl
 from .feedback import FeedbackEvent, FeedbackLog
@@ -21,14 +33,21 @@ from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "AdaptiveController",
+    "AdaptiveError",
     "Decision",
+    "DriftMonitor",
+    "ExperienceBuffer",
     "FeedbackEvent",
     "FeedbackLog",
     "MicroBatcher",
     "ModelRecord",
     "ModelRegistry",
+    "PageHinkley",
+    "PromotionPolicy",
     "QueueFull",
     "RegistryError",
+    "ShadowScoreboard",
     "SelectionServer",
     "SelectionService",
     "ServiceTelemetry",

@@ -22,6 +22,23 @@ a pipe, a socket wrapper or a test's ``StringIO``.  Operations:
     every span and metric the shared telemetry spine has collected,
     including the ``serve.*`` mirrors of the service telemetry.
 
+``{"op": "adaptive"}``
+    Adaptive-loop status (requires an attached
+    :class:`~repro.serve.adaptive.AdaptiveController`): buffer fill,
+    shadow scoreboard, promotion-gate verdict, drift detectors.  With
+    ``"train": true`` a candidate is force-trained from the accumulated
+    experience first.
+
+``{"op": "promote"}``
+    Manual promotion override.  Promotes the current shadow candidate
+    (bypassing the regret gate unless ``"force": false``), or an
+    explicit ``"version"``.  Optional ``"reason"`` lands in the
+    registry's audit trail.
+
+``{"op": "rollback"}``
+    Revert production to the previous version from the audit trail and
+    serve it immediately.
+
 ``{"op": "shutdown"}``
     Acknowledge and stop the loop.
 
@@ -91,11 +108,49 @@ def handle_request(service: SelectionService, request: Dict) -> Dict:
             return {"ok": True, "stats": service.stats()}
         if op == "metrics":
             return {"ok": True, "metrics": obs.snapshot()}
+        if op == "adaptive":
+            controller = _adaptive_of(service)
+            trained = None
+            if request.get("train"):
+                record = controller.train_candidate(force=True)
+                trained = record.version
+            response = {"ok": True, "adaptive": controller.status()}
+            if trained is not None:
+                response["trained"] = trained
+            return response
+        if op == "promote":
+            controller = _adaptive_of(service)
+            reason = str(request.get("reason", "manual"))
+            if "version" in request:
+                promotion = controller.adopt_version(
+                    str(request["version"]), reason=reason
+                )
+            else:
+                promotion = controller.promote(
+                    force=bool(request.get("force", True)), reason=reason
+                )
+            return {"ok": True, "promotion": promotion}
+        if op == "rollback":
+            controller = _adaptive_of(service)
+            promotion = controller.rollback(
+                reason=str(request.get("reason", "manual"))
+            )
+            return {"ok": True, "promotion": promotion}
         if op == "shutdown":
             return {"ok": True, "shutdown": True}
         raise ValueError(f"unknown op {op!r}")
     except Exception as exc:  # protocol boundary: report, don't crash
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _adaptive_of(service: SelectionService):
+    controller = service.adaptive
+    if controller is None:
+        raise ValueError(
+            "no adaptive controller attached; start the daemon with "
+            "--adaptive (or attach an AdaptiveController to the service)"
+        )
+    return controller
 
 
 def _handle_predict(service: SelectionService, request: Dict) -> Dict:

@@ -10,6 +10,7 @@ Layout (one directory per model name, one per version)::
         v0002/
           ...
         PRODUCTION       # version id promoted to production (optional)
+        PROMOTIONS.jsonl # audit trail of promote/rollback moves
 
 Artifacts wrap either a fitted :class:`~repro.core.selector.FormatSelector`
 (``kind="selector"``) or a :class:`~repro.core.predictor.PerformancePredictor`
@@ -288,12 +289,67 @@ class ModelRegistry:
             )
         return version
 
-    def promote(self, name: str, version: str) -> ModelRecord:
-        """Mark ``version`` as the production model for ``name``."""
+    def promote(
+        self,
+        name: str,
+        version: str,
+        *,
+        action: str = "promote",
+        reason: Optional[str] = None,
+        stats: Optional[Dict] = None,
+    ) -> ModelRecord:
+        """Mark ``version`` as the production model for ``name``.
+
+        Every call appends one audit record to the model's
+        ``PROMOTIONS.jsonl`` — who moved the alias, from what to what,
+        why, and (for gated auto-promotions) the shadow-evaluation
+        stats that justified it.  ``action`` distinguishes forward
+        promotions from ``"rollback"`` moves; the returned record
+        carries the audit entry under ``meta["promotion"]``.
+        """
         versions = self.versions(name)
         if version not in versions:
             raise RegistryError(
                 f"cannot promote {name}:{version}; available: {versions}"
             )
+        previous = self.production_version(name)
         (self._model_dir(name) / "PRODUCTION").write_text(version + "\n")
-        return self.record(name, version)
+        entry = {
+            "ts": _dt.datetime.now(_dt.timezone.utc).isoformat(
+                timespec="seconds"),
+            "action": action,
+            "name": name,
+            "version": version,
+            "previous": previous,
+        }
+        if reason is not None:
+            entry["reason"] = reason
+        if stats is not None:
+            entry["stats"] = stats
+        with open(self._model_dir(name) / "PROMOTIONS.jsonl", "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        record = self.record(name, version)
+        record.meta["promotion"] = entry
+        return record
+
+    def promotion_history(self, name: str) -> List[Dict]:
+        """Audit trail of production-alias moves (oldest first).
+
+        Parsed from ``PROMOTIONS.jsonl``; unreadable lines are skipped
+        rather than poisoning the history.
+        """
+        path = self._model_dir(name) / "PROMOTIONS.jsonl"
+        if not path.exists():
+            return []
+        entries = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries

@@ -165,6 +165,9 @@ class SelectionService:
         )
         self._recent = LRUCache(history)
         self._next_id = 0
+        #: Attached :class:`~repro.serve.adaptive.AdaptiveController`
+        #: (``None`` until :meth:`attach_adaptive`).
+        self._adaptive = None
 
     # -- construction ------------------------------------------------------
 
@@ -229,6 +232,50 @@ class SelectionService:
         service = cls(sel, pred, **kwargs)
         service.records = records
         return service
+
+    # -- adaptive loop -----------------------------------------------------
+
+    @property
+    def adaptive(self):
+        """The attached adaptive controller, or ``None``."""
+        return self._adaptive
+
+    def attach_adaptive(self, controller) -> None:
+        """Attach an :class:`~repro.serve.adaptive.AdaptiveController`.
+
+        Once attached, every served decision and feedback event flows
+        into the controller's ``observe_batch`` / ``observe_feedback``
+        hooks (off the response path; hook errors are counted, never
+        raised).  Normally called by the controller's own constructor.
+        """
+        self._adaptive = controller
+
+    def detach_adaptive(self) -> None:
+        self._adaptive = None
+
+    def adopt_selector(self, selector, record=None) -> None:
+        """Hot-swap the serving selector (the promotion fast path).
+
+        The new selector must be dataset-fitted on the same format
+        vocabulary the service resolved at construction.  Cached
+        decisions belong to the old model and are dropped; feature
+        caches and telemetry survive the swap.
+        """
+        fmts = getattr(selector, "formats_", None)
+        if fmts is None:
+            raise ValueError("adopted selector must be dataset-fitted")
+        if tuple(fmts) != tuple(self.formats):
+            raise ValueError(
+                f"adopted selector formats {tuple(fmts)} != serving "
+                f"vocabulary {tuple(self.formats)}"
+            )
+        with self._lock:
+            self.selector = selector
+            self._sel_names = _names_of(selector.feature_set)
+            if record is not None:
+                self.records["selector"] = record
+        if self._decision_cache is not None:
+            self._decision_cache.clear()
 
     # -- featurisation -----------------------------------------------------
 
@@ -345,7 +392,12 @@ class SelectionService:
         direct = None
         times = None
         if self.mode in ("direct", "hybrid"):
-            direct = self.selector.predict(self._project(X, names, self._sel_names))
+            # Read the selector once: adopt_selector may hot-swap it
+            # between (never during) batch decisions.
+            sel = self.selector
+            direct = sel.predict(
+                self._project(X, names, _names_of(sel.feature_set))
+            )
         if self.mode in ("indirect", "hybrid"):
             if profiles is not None:
                 times = self._simulate_times(profiles)
@@ -501,6 +553,17 @@ class SelectionService:
             decision_hits=d_hits,
             decision_misses=d_misses,
         )
+        adaptive = self._adaptive
+        if adaptive is not None:
+            # Off the response path: shadow scoring + feature retention
+            # happen after latencies are stamped; hook errors are
+            # counted by the controller, never raised here.
+            adaptive.observe_batch(
+                [
+                    (d.request_id, row[0], row[1], d.chosen)
+                    for row, d in zip(prepared, decisions)
+                ]
+            )
         return decisions
 
     def record_feedback(
@@ -527,6 +590,9 @@ class SelectionService:
             chosen = decision.chosen
         event = self.feedback.record(str(request_id), chosen, observed)
         self.telemetry.record_regret(event.regret)
+        adaptive = self._adaptive
+        if adaptive is not None:
+            adaptive.observe_feedback(event)
         return event
 
     def stats(self) -> Dict:
@@ -557,6 +623,8 @@ class SelectionService:
                 "mean_regret": self.feedback.mean_regret(),
             },
         }
+        if self._adaptive is not None:
+            snap["service"]["adaptive"] = self._adaptive.status()
         return snap
 
     def clear_caches(self) -> None:

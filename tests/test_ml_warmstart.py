@@ -1,0 +1,233 @@
+"""Warm-restart training tests for the pure-numpy ML stack.
+
+``warm_fit`` continues training an already-fitted model on new rows —
+the entry point the adaptive serving loop uses to turn accumulated
+feedback into candidate models without refitting from scratch.  The
+invariants: warm rounds must actually learn, must leave the cold-fit
+RNG stream untouched (cold fits stay bit-identical), and must freeze
+whatever calibration the fitted state depends on (pipeline scalers,
+regressor target normalisation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FormatSelector, SpMVDataset
+from repro.features import ALL_FEATURES
+from repro.ml import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    MLPClassifier,
+    MLPEnsembleClassifier,
+    MLPRegressor,
+    NotFittedError,
+    Pipeline,
+    StandardScaler,
+    accuracy_score,
+    mean_squared_error,
+)
+
+
+def _cls_data(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def _reg_data(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = X[:, 0] * 2.0 + np.sin(X[:, 1])
+    return X, y
+
+
+class TestMLPWarmFit:
+    def test_requires_fitted_model(self):
+        X, y = _cls_data()
+        with pytest.raises(NotFittedError):
+            MLPClassifier().warm_fit(X, y)
+
+    def test_warm_rounds_improve_on_fresh_data(self):
+        X, y = _cls_data()
+        X2, y2 = _cls_data(seed=1)
+        clf = MLPClassifier(hidden_layer_sizes=(16,), n_epochs=30, seed=3).fit(X, y)
+        before = accuracy_score(y2, clf.predict(X2))
+        for _ in range(3):
+            clf.warm_fit(X2, y2, n_epochs=30)
+        after = accuracy_score(y2, clf.predict(X2))
+        assert after >= before
+        assert clf.n_warm_fits_ == 3
+
+    def test_cold_fit_stays_bit_identical_after_warm_rounds_elsewhere(self):
+        X, y = _cls_data()
+        ref = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=10, seed=5).fit(X, y)
+        other = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=10, seed=5).fit(X, y)
+        other.warm_fit(X, y)  # must not perturb any shared RNG stream
+        again = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=10, seed=5).fit(X, y)
+        for w_ref, w_again in zip(ref.weights_, again.weights_):
+            np.testing.assert_array_equal(w_ref, w_again)
+
+    def test_warm_rounds_are_deterministic(self):
+        X, y = _cls_data()
+
+        def run():
+            clf = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=10, seed=5).fit(X, y)
+            clf.warm_fit(X, y, n_epochs=5)
+            clf.warm_fit(X, y, n_epochs=5)
+            return clf.weights_
+
+        for a, b in zip(run(), run()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_dimension_and_label_validation(self):
+        X, y = _cls_data()
+        clf = MLPClassifier(hidden_layer_sizes=(8,), n_epochs=5, seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.warm_fit(X[:, :3], y)
+        with pytest.raises(ValueError):
+            clf.warm_fit(X, y + 7)  # labels beyond the fitted classes
+
+    def test_regressor_keeps_target_normalisation_frozen(self):
+        X, y = _reg_data()
+        reg = MLPRegressor(hidden_layer_sizes=(16,), n_epochs=30, seed=1).fit(X, y)
+        mean_before = reg._y_mean
+        X2, y2 = _reg_data(seed=2)
+        before = mean_squared_error(y2, reg.predict(X2))
+        reg.warm_fit(X2, y2, n_epochs=30)
+        assert reg._y_mean == mean_before
+        assert mean_squared_error(y2, reg.predict(X2)) <= before
+
+    def test_ensemble_warm_fits_every_member(self):
+        X, y = _cls_data()
+        ens = MLPEnsembleClassifier(
+            n_members=3, hidden_layer_sizes=(8,), n_epochs=5, seed=2
+        ).fit(X, y)
+        ens.warm_fit(X, y, n_epochs=2)
+        assert all(m.n_warm_fits_ == 1 for m in ens.members_)
+
+
+class TestBoostingWarmFit:
+    def test_classifier_appends_rounds_and_improves(self):
+        X, y = _cls_data()
+        clf = GradientBoostingClassifier(
+            n_estimators=5, max_depth=2, seed=0
+        ).fit(X, y)
+        n_before = len(clf.trees_)
+        before = accuracy_score(y, clf.predict(X))
+        clf.warm_fit(X, y, n_rounds=10)
+        assert len(clf.trees_) == n_before + 10
+        assert accuracy_score(y, clf.predict(X)) >= before
+
+    def test_regressor_appends_rounds_and_reduces_error(self):
+        X, y = _reg_data()
+        reg = GradientBoostingRegressor(
+            n_estimators=5, max_depth=2, seed=0
+        ).fit(X, y)
+        before = mean_squared_error(y, reg.predict(X))
+        reg.warm_fit(X, y, n_rounds=20)
+        assert mean_squared_error(y, reg.predict(X)) < before
+
+    def test_validates_rounds_and_labels(self):
+        X, y = _cls_data()
+        clf = GradientBoostingClassifier(n_estimators=3, seed=0).fit(X, y)
+        with pytest.raises(ValueError, match="n_rounds"):
+            clf.warm_fit(X, y, n_rounds=0)
+        with pytest.raises(ValueError):
+            clf.warm_fit(X, y + 9)
+
+    def test_cold_fit_unaffected_by_warm_rounds_elsewhere(self):
+        X, y = _reg_data()
+        ref = GradientBoostingRegressor(n_estimators=4, seed=7).fit(X, y)
+        other = GradientBoostingRegressor(n_estimators=4, seed=7).fit(X, y)
+        other.warm_fit(X, y, n_rounds=3)
+        again = GradientBoostingRegressor(n_estimators=4, seed=7).fit(X, y)
+        np.testing.assert_array_equal(ref.predict(X), again.predict(X))
+        assert len(ref.trees_) == len(again.trees_) == 4
+
+
+class TestPipelineWarmFit:
+    def test_transformers_stay_frozen(self):
+        X, y = _cls_data()
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("mlp", MLPClassifier(hidden_layer_sizes=(8,), n_epochs=5, seed=0)),
+        ]).fit(X, y)
+        mean_before = pipe.steps[0][1].mean_.copy()
+        X2, y2 = _cls_data(seed=9)
+        pipe.warm_fit(X2 + 100.0, y2)  # wildly shifted inputs
+        np.testing.assert_array_equal(pipe.steps[0][1].mean_, mean_before)
+
+    def test_final_step_without_warm_fit_raises(self):
+        from repro.ml import DecisionTreeClassifier
+
+        X, y = _cls_data()
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("tree", DecisionTreeClassifier(max_depth=3)),
+        ]).fit(X, y)
+        with pytest.raises(AttributeError, match="warm_fit"):
+            pipe.warm_fit(X, y)
+
+
+class TestFormatSelectorWarmFit:
+    @pytest.fixture
+    def toy(self):
+        rng = np.random.default_rng(0)
+        n, formats = 120, ("coo", "csr", "ell", "hyb")
+        X = np.abs(rng.normal(size=(n, len(ALL_FEATURES)))) + 0.1
+        times = 1.0 + rng.random((n, len(formats)))
+        return SpMVDataset(
+            names=[f"m{i}" for i in range(n)],
+            feature_array=X,
+            times=times,
+            formats=formats,
+            device="toy",
+            precision="single",
+        )
+
+    def test_supports_warm_start_flags(self):
+        assert FormatSelector("mlp").supports_warm_start
+        assert FormatSelector("mlp_ensemble").supports_warm_start
+        assert FormatSelector("xgboost").supports_warm_start
+        assert not FormatSelector("decision_tree").supports_warm_start
+        assert not FormatSelector("svm").supports_warm_start
+
+    def test_unsupported_family_raises(self, toy):
+        sel = FormatSelector("decision_tree").fit(toy)
+        with pytest.raises(ValueError, match="warm-start"):
+            sel.warm_fit(toy)
+
+    def test_warm_fit_on_dataset(self, toy):
+        sel = FormatSelector(
+            "mlp", feature_set="set123", n_epochs=5, seed=0
+        ).fit(toy)
+        before = sel.score(toy)
+        sel.warm_fit(toy, n_epochs=20)
+        assert sel.score(toy) >= before
+
+    def test_format_vocabulary_mismatch_raises(self, toy):
+        sel = FormatSelector("mlp", n_epochs=5).fit(toy)
+        other = SpMVDataset(
+            names=toy.names,
+            feature_array=toy.feature_array,
+            times=toy.times[:, :3],
+            formats=toy.formats[:3],
+            device="toy",
+            precision="single",
+        )
+        with pytest.raises(ValueError, match="formats"):
+            sel.warm_fit(other)
+
+    def test_raw_array_requires_labels(self, toy):
+        sel = FormatSelector("mlp", n_epochs=5).fit(toy)
+        with pytest.raises(ValueError, match="y is required"):
+            sel.warm_fit(toy.X(sel.feature_set))
+
+    def test_warm_state_serializes(self, toy):
+        sel = FormatSelector("mlp", n_epochs=5, seed=1).fit(toy)
+        sel.warm_fit(toy, n_epochs=2)
+        restored = FormatSelector.from_state(sel.get_state())
+        np.testing.assert_array_equal(restored.predict(toy), sel.predict(toy))
+        assert restored.supports_warm_start
+        restored.warm_fit(toy, n_epochs=2)

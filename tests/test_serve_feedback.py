@@ -1,0 +1,114 @@
+"""FeedbackLog tests: regret edge cases and multi-threaded hammering.
+
+The log sits on the serving hot path for every ``feedback`` op from
+every server connection, so its counters must stay exact under
+concurrent writers, and its regret math must reject unusable
+observations loudly instead of producing garbage quality signals.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import FeedbackLog
+
+
+class TestRegretEdgeCases:
+    def test_chosen_format_missing_from_times(self):
+        log = FeedbackLog()
+        with pytest.raises(ValueError, match="must include the chosen"):
+            log.record("r1", "csr", {"ell": 1.0, "hyb": 2.0})
+        assert len(log) == 0
+
+    def test_zero_time_rejected(self):
+        log = FeedbackLog()
+        with pytest.raises(ValueError, match="must be positive"):
+            log.record("r1", "csr", {"csr": 0.0, "ell": 1.0})
+
+    def test_negative_and_nan_times_rejected(self):
+        log = FeedbackLog()
+        with pytest.raises(ValueError, match="must be positive"):
+            log.record("r1", "csr", {"csr": -1.0})
+        with pytest.raises(ValueError, match="must be positive"):
+            log.record("r1", "csr", {"csr": float("nan"), "ell": 1.0})
+
+    def test_near_zero_positive_times_work(self):
+        log = FeedbackLog()
+        event = log.record("r1", "csr", {"csr": 2e-12, "ell": 1e-12})
+        assert event.regret == pytest.approx(1.0)
+        assert event.optimal == "ell"
+
+    def test_single_format_report_has_zero_regret(self):
+        # With only the chosen format observed there is nothing to
+        # regret against — regret is 0 by construction.
+        log = FeedbackLog()
+        event = log.record("r1", "csr", {"csr": 3.0})
+        assert event.regret == 0.0
+        assert event.optimal == "csr"
+
+    def test_optimal_choice_has_zero_regret(self):
+        log = FeedbackLog()
+        event = log.record("r1", "ell", {"csr": 2.0, "ell": 1.0})
+        assert event.regret == 0.0
+        event = log.record("r2", "csr", {"csr": 2.0, "ell": 1.0})
+        assert event.regret == pytest.approx(1.0)
+
+    def test_rejected_events_leave_no_trace(self):
+        log = FeedbackLog()
+        log.record("ok", "csr", {"csr": 1.0})
+        for bad in ({"ell": 1.0}, {"csr": 0.0}):
+            with pytest.raises(ValueError):
+                log.record("bad", "csr", bad)
+        assert len(log) == 1
+        assert log.chosen_distribution() == {"csr": 1}
+        assert log.optimal_distribution() == {"csr": 1}
+
+
+class TestConcurrentHammer:
+    def test_many_threads_record_without_losing_events(self):
+        """8 writer threads + a reader; every count must stay exact."""
+        log = FeedbackLog(maxlen=10_000)
+        n_threads, per_thread = 8, 250
+        barrier = threading.Barrier(n_threads + 1)
+        errors = []
+
+        def writer(t):
+            try:
+                barrier.wait(timeout=30)
+                for i in range(per_thread):
+                    fmt = ("csr", "ell")[i % 2]
+                    log.record(
+                        f"t{t}-r{i}", fmt, {"csr": 1.0 + (i % 2), "ell": 1.0}
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        def reader():
+            barrier.wait(timeout=30)
+            for _ in range(200):
+                log.mean_regret()
+                log.optimal_distribution()
+                len(log)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ] + [threading.Thread(target=reader)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=60)
+        assert not errors
+        total = n_threads * per_thread
+        assert len(log) == total
+        chosen = log.chosen_distribution()
+        assert chosen["csr"] == total // 2
+        assert chosen["ell"] == total // 2
+        # Every event's optimal is ell-or-tie; counts must sum exactly.
+        assert sum(log.optimal_distribution().values()) == total
+
+    def test_bounded_history_keeps_distributions_cumulative(self):
+        log = FeedbackLog(maxlen=4)
+        for i in range(10):
+            log.record(f"r{i}", "csr", {"csr": 1.0})
+        assert len(log) == 4
+        assert log.chosen_distribution() == {"csr": 10}

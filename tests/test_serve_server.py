@@ -354,6 +354,88 @@ class TestConcurrentServing:
         with pytest.raises(OSError):
             socket.create_connection(address, timeout=2)
 
+    def test_feedback_op_parity_with_daemon(self, selector, train):
+        """Socket feedback must behave exactly like the stdio daemon.
+
+        Both front-ends funnel non-predict ops through
+        ``handle_request``; this pins the contract at the socket level
+        so a future server-side fast path can't silently diverge.
+        """
+        from repro.serve.daemon import handle_request
+
+        socket_service = SelectionService(selector)
+        daemon_service = SelectionService(selector)
+        server = SelectionServer(socket_service, port=0).start()
+        try:
+            sock, fh = _connect(server.address)
+            with sock:
+                vec = train.feature_array[0].tolist()
+                predicted = _roundtrip(
+                    fh, {"op": "predict", "vector": vec, "id": "fp-1"}
+                )
+                assert predicted["ok"] is True
+                handle_request(
+                    daemon_service,
+                    {"op": "predict", "vector": vec, "id": "fp-1"},
+                )
+                other = "coo" if predicted["format"] != "coo" else "csr"
+                observed = {predicted["format"]: 2.0, other: 1.0}
+                request = {"op": "feedback", "id": "fp-1", "times": observed}
+                via_socket = _roundtrip(fh, request)
+                via_daemon = handle_request(daemon_service, dict(request))
+                assert via_socket == via_daemon
+                assert via_socket["ok"] is True
+                assert via_socket["regret"] == pytest.approx(1.0)
+
+                # Error shape parity too: unknown id without chosen=.
+                bad = {"op": "feedback", "id": "nope", "times": {"csr": 1.0}}
+                assert _roundtrip(fh, bad) == handle_request(
+                    daemon_service, dict(bad)
+                )
+
+                # And the socket stats op reflects the recorded event.
+                stats = _roundtrip(fh, {"op": "stats"})
+                assert stats["stats"]["feedback"]["count"] == 1
+                assert stats["stats"]["feedback"]["regret_mean"] == (
+                    pytest.approx(1.0)
+                )
+                assert stats["stats"]["service"]["feedback"][
+                    "chosen_distribution"
+                ] == {predicted["format"]: 1}
+        finally:
+            server.shutdown()
+
+    def test_feedback_with_explicit_chosen_over_socket(self, selector):
+        # Decisions outside the recent window: client supplies chosen=.
+        server = SelectionServer(SelectionService(selector), port=0).start()
+        try:
+            sock, fh = _connect(server.address)
+            with sock:
+                response = _roundtrip(fh, {
+                    "op": "feedback", "id": "ancient", "chosen": "csr",
+                    "times": {"csr": 1.5, "ell": 1.0},
+                })
+                assert response["ok"] is True
+                assert response["optimal"] == "ell"
+                assert response["regret"] == pytest.approx(0.5)
+        finally:
+            server.shutdown()
+
+    def test_adaptive_ops_require_controller_over_socket(self, selector):
+        # Without an attached controller, the adaptive ops answer with
+        # a protocol error (and the connection stays serviceable).
+        server = SelectionServer(SelectionService(selector), port=0).start()
+        try:
+            sock, fh = _connect(server.address)
+            with sock:
+                for op in ("adaptive", "promote", "rollback"):
+                    response = _roundtrip(fh, {"op": op})
+                    assert response["ok"] is False
+                    assert "no adaptive controller" in response["error"]
+                assert _roundtrip(fh, {"op": "stats"})["ok"] is True
+        finally:
+            server.shutdown()
+
     def test_network_shutdown_op_drains_server(self, service, train):
         server = SelectionServer(service, port=0).start()
         serve_thread = threading.Thread(
