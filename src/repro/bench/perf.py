@@ -19,6 +19,10 @@ leave a tracked trail:
   per-node sorting implementation) vs ``presort=True`` (root presort +
   stable partition; see :mod:`repro.ml.tree`) on the repo's labeled
   dataset at the configured scale.
+* **ml inference** — the compiled flat-array inference engine
+  (:mod:`repro.ml.compiled`): fused ensemble traversal vs the node-graph
+  reference walk at serving-shaped batch sizes (1/16/256), plus the
+  one-off lowering cost.
 * **serving** — model-registry save/load and end-to-end decision
   latency of :mod:`repro.serve`, both through the in-process
   :class:`~repro.serve.service.SelectionService` API and through the
@@ -230,6 +234,65 @@ def _bench_boosting_fit(
     }
 
 
+def _bench_ml_inference(X: np.ndarray, y: np.ndarray, quick: bool,
+                        repeats: int) -> Dict:
+    """Compiled flat-array inference vs the node-graph reference walk.
+
+    Fits a gradient-boosted classifier (the paper's best model family —
+    also the deepest ensemble: ``n_estimators × n_classes`` trees), then
+    times ``decision_function`` at serving-shaped batch sizes with the
+    compiled table active vs forced onto the node path
+    (:func:`repro.ml.compiled.node_path`).  Both paths are bit-identical
+    by construction (asserted by ``tests/test_ml_compiled.py``); the
+    one-off lowering cost is reported as ``compile_ms``.
+    """
+    from ..ml import GradientBoostingClassifier
+    from ..ml import compiled as _compiled
+
+    n_estimators = 10 if quick else 40
+    model = GradientBoostingClassifier(n_estimators=n_estimators, max_depth=6)
+    model.fit(X, y)
+    compile_s = _best_of(model._compile, max(repeats, 3))
+    table = model.compiled_
+
+    rng = np.random.default_rng(0)
+    batches: Dict[str, Dict] = {}
+    out: Dict = {
+        "n_estimators": n_estimators,
+        "n_classes": int(model.n_classes_),
+        "n_trees": int(table.n_trees),
+        "table_nodes": int(table.n_nodes),
+        "table_max_depth": int(table.max_depth),
+        "compile_ms": 1e3 * compile_s,
+        "batches": batches,
+    }
+    for size in (1, 16, 256):
+        Xb = X[rng.integers(0, X.shape[0], size)]
+        inner = max(1, 256 // size)
+
+        def compiled_run() -> None:
+            for _ in range(inner):
+                model.decision_function(Xb)
+
+        def node_run() -> None:
+            with _compiled.node_path():
+                compiled_run()
+
+        t0 = _best_of(node_run, repeats)
+        t1 = _best_of(compiled_run, repeats)
+        batches[str(size)] = {
+            "node_ms_per_batch": 1e3 * t0 / inner,
+            "compiled_ms_per_batch": 1e3 * t1 / inner,
+            "speedup": _speedup(t0, t1),
+        }
+        if size == 16:
+            # The acceptance batch size doubles as the section headline.
+            out["before_s"] = t0
+            out["after_s"] = t1
+            out["speedup"] = _speedup(t0, t1)
+    return out
+
+
 def _bench_serving(ds, matrices: Sequence, quick: bool) -> Dict:
     """Registry save/load plus end-to-end serving latency.
 
@@ -277,8 +340,25 @@ def _bench_serving(ds, matrices: Sequence, quick: bool) -> Dict:
         served = serve_jsonl(daemon_service, lines, sink)
         daemon_wall = time.perf_counter() - start
 
+    # Separate obs-enabled pass: the serve.predict_ms histogram costs a
+    # little to record, so it is sampled outside the timed runs above.
+    from .. import obs
+
+    obs.disable(reset=True)
+    obs.enable()
+    try:
+        obs_service = SelectionService(model)
+        for m in requests:
+            obs_service.predict(m)
+        predict_ms = obs.snapshot()["metrics"]["serve.predict_ms"]
+    finally:
+        obs.disable(reset=True)
+
     return {
         "n_requests": n_requests,
+        "predict_ms_histogram": {
+            k: predict_ms[k] for k in ("count", "mean", "p50", "p95", "max")
+        },
         "registry_save_ms": 1e3 * save_s,
         "registry_load_ms": 1e3 * load_s,
         "direct_ms_per_request": 1e3 * direct_wall / n_requests,
@@ -573,6 +653,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
     sections["boosting_fit"] = _bench_boosting_fit(
         X, y, n_estimators=8 if quick else 40, repeats=repeats
     )
+    sections["ml_inference"] = _bench_ml_inference(X, y, quick, repeats)
     sections["serving"] = _bench_serving(ds, matrices, quick)
     sections["adaptive_loop"] = _bench_adaptive(ds, quick)
     sections["serving_concurrent"] = _bench_serving_concurrent(ds, quick)

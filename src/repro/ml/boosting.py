@@ -41,6 +41,7 @@ import numpy as np
 
 from .. import obs
 
+from . import compiled as _compiled
 from .base import BaseEstimator, check_X, check_X_y
 
 __all__ = ["GradientBoostingClassifier", "GradientBoostingRegressor"]
@@ -204,8 +205,12 @@ class _BoostTree:
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        out = np.empty(X.shape[0])
-        stack = [(self.root, np.arange(X.shape[0]))]
+        n = X.shape[0]
+        out = np.empty(n)
+        # Shared root index vector + one reused boolean scratch (the
+        # fancy-index copies detach from it immediately).
+        mask_buf = np.empty(n, dtype=bool)
+        stack = [(self.root, _compiled.shared_arange(n))]
         while stack:
             node, idx = stack.pop()
             if idx.size == 0:
@@ -213,9 +218,13 @@ class _BoostTree:
             if node.is_leaf:
                 out[idx] = node.weight
                 continue
-            mask = X[idx, node.feature] <= node.threshold
-            stack.append((node.left, idx[mask]))
-            stack.append((node.right, idx[~mask]))
+            mask = np.less_equal(
+                X[idx, node.feature], node.threshold, out=mask_buf[: idx.size]
+            )
+            idx_left = idx[mask]
+            np.logical_not(mask, out=mask)
+            stack.append((node.left, idx_left))
+            stack.append((node.right, idx[mask]))
         return out
 
 
@@ -298,6 +307,24 @@ class _BaseBooster(BaseEstimator):
             self._fscore_acc = np.zeros(X.shape[1], dtype=np.int64)
         return rounds, rng
 
+    def _flat_trees(self) -> List[_BoostTree]:
+        """Member trees in accumulation order; overridden by the
+        classifier whose ensemble is nested per round."""
+        return self.trees_
+
+    def _compile(self) -> None:
+        """Fuse the whole ensemble into one flat-array table.
+
+        Called at the end of ``fit``/``warm_fit`` — the boosting loop
+        itself keeps using the per-tree node walk (each tree predicts
+        right after being built, before the ensemble is final).
+        """
+        self.compiled_ = _compiled.compile_boost(self._flat_trees())
+
+    def _post_restore(self) -> None:
+        if getattr(self, "compiled_", None) is None and hasattr(self, "trees_"):
+            self._compile()
+
 
 class GradientBoostingRegressor(_BaseBooster):
     """Squared-error gradient boosting (g = residual, h = 1)."""
@@ -334,6 +361,7 @@ class GradientBoostingRegressor(_BaseBooster):
         if track:
             obs.record_span("ml.boosting.fit", time.perf_counter() - fit_start)
         self._finalise_importance()
+        self._compile()
         return self
 
     def warm_fit(
@@ -365,14 +393,24 @@ class GradientBoostingRegressor(_BaseBooster):
             self._accumulate_importance(tree)
             pred += self.learning_rate * tree.predict(X)
         self._finalise_importance()
+        self._compile()
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("trees_")
         X = check_X(X)
         pred = np.full(X.shape[0], self.base_score_)
-        for tree in self.trees_:
-            pred += self.learning_rate * tree.predict(X)
+        table = getattr(self, "compiled_", None)
+        if table is not None and _compiled.compiled_enabled():
+            # One fused traversal yields every tree's leaf weight; the
+            # shrinkage accumulation below applies the identical op
+            # sequence as the per-tree node loop, tree by tree.
+            w = table.leaf_scalars(X)
+            for t in range(w.shape[0]):
+                pred += self.learning_rate * w[t]
+        else:
+            for tree in self.trees_:
+                pred += self.learning_rate * tree.predict(X)
         return pred
 
 
@@ -424,6 +462,7 @@ class GradientBoostingClassifier(_BaseBooster):
         if track:
             obs.record_span("ml.boosting.fit", time.perf_counter() - fit_start)
         self._finalise_importance()
+        self._compile()
         return self
 
     def warm_fit(
@@ -469,16 +508,33 @@ class GradientBoostingClassifier(_BaseBooster):
                 margins[:, k] += self.learning_rate * tree.predict(X)
             self.trees_.append(round_trees)
         self._finalise_importance()
+        self._compile()
         return self
+
+    def _flat_trees(self) -> List[_BoostTree]:
+        # Flatten the nested per-round lists in (round, class) order —
+        # the same order decision_function accumulates margins in.
+        return [tree for round_trees in self.trees_ for tree in round_trees]
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw per-class margins (pre-softmax)."""
         self._require_fitted("trees_")
         X = check_X(X)
         margins = np.zeros((X.shape[0], self.n_classes_))
-        for round_trees in self.trees_:
-            for k, tree in enumerate(round_trees):
-                margins[:, k] += self.learning_rate * tree.predict(X)
+        table = getattr(self, "compiled_", None)
+        if table is not None and _compiled.compiled_enabled():
+            # Fused table rows are the (round, class)-ordered trees.
+            # Accumulating round-by-round keeps every margin element's
+            # addition sequence identical to the nested node-walk loop
+            # (classes are independent columns), in K× fewer numpy ops.
+            K = self.n_classes_
+            w = table.leaf_scalars(X).reshape(-1, K, X.shape[0])
+            for r in range(w.shape[0]):
+                margins += self.learning_rate * w[r].T
+        else:
+            for round_trees in self.trees_:
+                for k, tree in enumerate(round_trees):
+                    margins[:, k] += self.learning_rate * tree.predict(X)
         return margins
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import compiled as _compiled
 from .base import BaseEstimator, check_X, check_X_y
 from .tree import DecisionTreeClassifier, DecisionTreeRegressor
 
@@ -72,6 +73,20 @@ class _BaseForest(BaseEstimator):
             importances += tree.feature_importances_
         total = importances.sum()
         self.feature_importances_ = importances / total if total > 0 else importances
+        # Fuse all member trees into one flat-array table so a predict
+        # traverses the whole forest in O(max_depth) vectorised steps.
+        self.compiled_ = _compiled.compile_cart_forest(
+            self.trees_, self._value_width()
+        )
+
+    def _value_width(self) -> int:
+        raise NotImplementedError
+
+    def _post_restore(self) -> None:
+        if getattr(self, "compiled_", None) is None and hasattr(self, "trees_"):
+            self.compiled_ = _compiled.compile_cart_forest(
+                self.trees_, self._value_width()
+            )
 
 
 class RandomForestClassifier(_BaseForest):
@@ -88,15 +103,29 @@ class RandomForestClassifier(_BaseForest):
         self._fit_forest(X, y)
         return self
 
+    def _value_width(self) -> int:
+        return self.n_classes_
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("trees_")
         X = check_X(X)
-        # Trees trained on bootstrap samples may not have seen every
-        # class; pad their probability vectors to the forest's width.
         out = np.zeros((X.shape[0], self.n_classes_))
-        for tree in self.trees_:
-            p = tree.predict_proba(X)
-            out[:, : p.shape[1]] += p
+        table = getattr(self, "compiled_", None)
+        if table is not None and _compiled.compiled_enabled():
+            # One fused traversal of every member; the table zero-pads
+            # members that saw fewer classes, so accumulating the full
+            # width adds exact zeros — bit-identical to the node loop.
+            probs = table.leaf_values(X)
+            for t in range(probs.shape[0]):
+                out += probs[t]
+        else:
+            # Trees trained on bootstrap samples may not have seen every
+            # class; pad their probability vectors to the forest's
+            # width.  X is validated once here, so the member walk uses
+            # the trusted node path.
+            for tree in self.trees_:
+                p = tree._predict_values_nodes(X)
+                out[:, : p.shape[1]] += p
         return out / len(self.trees_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -113,7 +142,17 @@ class RandomForestRegressor(_BaseForest):
         self._fit_forest(X, y.astype(np.float64))
         return self
 
+    def _value_width(self) -> int:
+        return 1
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("trees_")
         X = check_X(X)
-        return np.mean([t.predict(X) for t in self.trees_], axis=0)
+        table = getattr(self, "compiled_", None)
+        if table is not None and _compiled.compiled_enabled():
+            # Fused traversal gives the same (n_trees, n) prediction
+            # rows the member loop stacks, so the mean is bit-identical.
+            return np.mean(table.leaf_scalars(X), axis=0)
+        return np.mean(
+            [t._predict_values_nodes(X)[:, 0] for t in self.trees_], axis=0
+        )

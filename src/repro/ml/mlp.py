@@ -175,14 +175,23 @@ class _BaseMLP(BaseEstimator):
         if track:
             obs.record_span("ml.mlp.fit", time.perf_counter() - fit_start)
 
-    def _raw_output(self, X: np.ndarray) -> np.ndarray:
-        self._require_fitted("weights_")
+    def _validate_X(self, X: np.ndarray) -> np.ndarray:
+        """One-time boundary validation (dtype/shape/feature width)."""
         X = check_X(X)
         if X.shape[1] != self.weights_[0].shape[0]:
             raise ValueError(
                 f"X has {X.shape[1]} features, model expects {self.weights_[0].shape[0]}"
             )
+        return X
+
+    def _raw_output_trusted(self, X: np.ndarray) -> np.ndarray:
+        """``_raw_output`` minus validation — for ensemble wrappers that
+        validate once at their own public boundary."""
         return self._forward(X)[-1]
+
+    def _raw_output(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("weights_")
+        return self._forward(self._validate_X(X))[-1]
 
 
 class MLPClassifier(_BaseMLP):
@@ -234,11 +243,15 @@ class MLPClassifier(_BaseMLP):
         self._fit_core(X, y, warm=True, n_epochs=n_epochs)
         return self
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        z = self._raw_output(X)
+    def _predict_proba_trusted(self, X: np.ndarray) -> np.ndarray:
+        z = self._raw_output_trusted(X)
         z -= z.max(axis=1, keepdims=True)
         e = np.exp(z)
         return e / e.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("weights_")
+        return self._predict_proba_trusted(self._validate_X(X))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return np.argmax(self._raw_output(X), axis=1)
@@ -280,9 +293,13 @@ class MLPRegressor(_BaseMLP):
         self._fit_core(X, y.astype(np.float64), warm=True, n_epochs=n_epochs)
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        z = self._raw_output(X)[:, 0]
+    def _predict_trusted(self, X: np.ndarray) -> np.ndarray:
+        z = self._raw_output_trusted(X)[:, 0]
         return z * self._y_std + self._y_mean
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("weights_")
+        return self._predict_trusted(self._validate_X(X))
 
 
 class _BaseEnsemble(BaseEstimator):
@@ -340,7 +357,12 @@ class MLPEnsembleClassifier(_BaseEnsemble):
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("members_")
-        return np.mean([m.predict_proba(X) for m in self.members_], axis=0)
+        # Validate once here; members share the input layer width, so
+        # the per-member walk runs the trusted fast path.
+        X = self.members_[0]._validate_X(X)
+        return np.mean(
+            [m._predict_proba_trusted(X) for m in self.members_], axis=0
+        )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return np.argmax(self.predict_proba(X), axis=1)
@@ -357,4 +379,5 @@ class MLPEnsembleRegressor(_BaseEnsemble):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("members_")
-        return np.mean([m.predict(X) for m in self.members_], axis=0)
+        X = self.members_[0]._validate_X(X)
+        return np.mean([m._predict_trusted(X) for m in self.members_], axis=0)

@@ -28,6 +28,7 @@ import numpy as np
 __all__ = [
     "SerializationError",
     "STATE_SCHEMA",
+    "SCHEMA_COMPAT",
     "encode",
     "decode",
     "encode_estimator",
@@ -39,7 +40,17 @@ __all__ = [
 ]
 
 #: Schema tag written into every artifact; bumped on layout changes.
-STATE_SCHEMA = "repro-ml-state/v1"
+#: v2 adds the ``__tree_table__`` structure tag carrying compiled
+#: flat-array inference tables (:mod:`repro.ml.compiled`).
+STATE_SCHEMA = "repro-ml-state/v2"
+
+#: Older schema tags each current tag still reads.  v1 artifacts simply
+#: lack compiled tables; ``set_state`` → ``_post_restore`` recompiles
+#: them from the node graphs on load.
+SCHEMA_COMPAT: Dict[str, Tuple[str, ...]] = {
+    "repro-ml-state/v2": ("repro-ml-state/v1",),
+    "repro-serve-artifact/v2": ("repro-serve-artifact/v1",),
+}
 
 
 class SerializationError(RuntimeError):
@@ -187,6 +198,7 @@ class _Encoder:
     def encode(self, obj: Any) -> Any:
         from .base import BaseEstimator
         from .boosting import _BoostTree
+        from .compiled import TreeTable
         from .tree import _Node
 
         if obj is None or isinstance(obj, (bool, int, float, str)):
@@ -220,6 +232,19 @@ class _Encoder:
                     "nodes": self._array_ref(_flatten_boost(obj.root)),
                     "gain": self._array_ref(obj.gain_by_feature),
                     "splits": self._array_ref(obj.splits_by_feature),
+                }
+            }
+        if isinstance(obj, TreeTable):
+            # Persisting the table lets registry loads serve straight
+            # from the artifact without re-lowering the node graphs.
+            return {
+                "__tree_table__": {
+                    "feature": self._array_ref(obj.feature),
+                    "threshold": self._array_ref(obj.threshold),
+                    "left": self._array_ref(obj.left),
+                    "right": self._array_ref(obj.right),
+                    "values": self._array_ref(obj.values),
+                    "max_depth": int(obj.max_depth),
                 }
             }
         raise SerializationError(
@@ -286,6 +311,18 @@ class _Decoder:
             tree.gain_by_feature = self._deref(spec["gain"])
             tree.splits_by_feature = self._deref(spec["splits"])
             return tree
+        if "__tree_table__" in obj:
+            from .compiled import TreeTable
+
+            spec = obj["__tree_table__"]
+            return TreeTable(
+                self._deref(spec["feature"]),
+                self._deref(spec["threshold"]),
+                self._deref(spec["left"]),
+                self._deref(spec["right"]),
+                self._deref(spec["values"]),
+                int(spec["max_depth"]),
+            )
         raise SerializationError(f"unrecognised structure tag: {sorted(obj)}")
 
     def decode_estimator(self, obj: Dict[str, Any]):
@@ -348,10 +385,10 @@ def _read_npz(path, schema: str) -> Tuple[Any, Dict[str, np.ndarray]]:
         raise
     except Exception as exc:
         raise SerializationError(f"unreadable artifact {path}: {exc}") from exc
-    if header.get("schema") != schema:
+    found = header.get("schema")
+    if found != schema and found not in SCHEMA_COMPAT.get(schema, ()):
         raise SerializationError(
-            f"unsupported artifact schema {header.get('schema')!r}; "
-            f"expected {schema!r}"
+            f"unsupported artifact schema {found!r}; expected {schema!r}"
         )
     return header["root"], arrays
 

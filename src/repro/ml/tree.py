@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import compiled as _compiled
 from .base import BaseEstimator, check_X, check_X_y
 
 __all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor", "PRESORT_MIN_SAMPLES"]
@@ -196,6 +197,8 @@ class _BaseTree(BaseEstimator):
         total = self.feature_importances_.sum()
         if total > 0:
             self.feature_importances_ /= total
+        # Lower the fresh node graph to its flat-array serving form.
+        self.compiled_ = _compiled.compile_cart(self.root_, self.root_.value.size)
 
     def _build(
         self,
@@ -260,6 +263,14 @@ class _BaseTree(BaseEstimator):
 
     # prediction --------------------------------------------------------------
 
+    def _post_restore(self) -> None:
+        # v1 artifacts carry only the node graph; recompile so restored
+        # models serve from flat arrays too (v2 artifacts skip this).
+        if getattr(self, "compiled_", None) is None and hasattr(self, "root_"):
+            self.compiled_ = _compiled.compile_cart(
+                self.root_, self.root_.value.size
+            )
+
     def _predict_values(self, X: np.ndarray) -> np.ndarray:
         """Route all samples through the tree, returning leaf values."""
         self._require_fitted("root_")
@@ -268,8 +279,29 @@ class _BaseTree(BaseEstimator):
             raise ValueError(
                 f"X has {X.shape[1]} features, tree was fit with {self.n_features_}"
             )
-        out = np.empty((X.shape[0], self.root_.value.size))
-        stack = [(self.root_, np.arange(X.shape[0]))]
+        return self._predict_values_trusted(X)
+
+    def _predict_values_trusted(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for already-validated float64 input.
+
+        Dispatches to the compiled flat-array table when one is
+        attached; the node-graph walk below stays as the bit-identical
+        reference path (and the fallback for ``node_path()`` runs).
+        """
+        table = getattr(self, "compiled_", None)
+        if table is not None and _compiled.compiled_enabled():
+            return table.leaf_values(X)[0]
+        return self._predict_values_nodes(X)
+
+    def _predict_values_nodes(self, X: np.ndarray) -> np.ndarray:
+        """Reference node-graph walk (trusted input)."""
+        n = X.shape[0]
+        out = np.empty((n, self.root_.value.size))
+        # One shared root index vector and one boolean scratch reused
+        # down the stack: idx[mask] copies immediately, so the scratch
+        # can be overwritten by the next node.
+        mask_buf = np.empty(n, dtype=bool)
+        stack = [(self.root_, _compiled.shared_arange(n))]
         while stack:
             node, idx = stack.pop()
             if idx.size == 0:
@@ -277,9 +309,13 @@ class _BaseTree(BaseEstimator):
             if node.is_leaf:
                 out[idx] = node.value
                 continue
-            mask = X[idx, node.feature] <= node.threshold
-            stack.append((node.left, idx[mask]))
-            stack.append((node.right, idx[~mask]))
+            mask = np.less_equal(
+                X[idx, node.feature], node.threshold, out=mask_buf[: idx.size]
+            )
+            idx_left = idx[mask]
+            np.logical_not(mask, out=mask)
+            stack.append((node.left, idx_left))
+            stack.append((node.right, idx[mask]))
         return out
 
     @property

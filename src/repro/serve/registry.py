@@ -39,8 +39,15 @@ from ..ml.serialize import SerializationError, load_payload, save_payload
 
 __all__ = ["ModelRegistry", "ModelRecord", "RegistryError", "ARTIFACT_SCHEMA"]
 
-#: Artifact schema tag; loading any other value is refused.
-ARTIFACT_SCHEMA = "repro-serve-artifact/v1"
+#: Artifact schema tag written by this build.  v2 payloads carry the
+#: compiled flat-array inference tables (``repro.ml.compiled``); v1
+#: artifacts are still readable — estimators recompile their tables
+#: from the node graphs on restore (see ``SCHEMA_COMPAT`` in
+#: :mod:`repro.ml.serialize`).
+ARTIFACT_SCHEMA = "repro-serve-artifact/v2"
+
+#: Schema tags this build accepts when loading.
+_READABLE_SCHEMAS = (ARTIFACT_SCHEMA, "repro-serve-artifact/v1")
 
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 
@@ -225,10 +232,10 @@ class ModelRegistry:
             meta = json.loads(meta_path.read_text())
         except (OSError, ValueError) as exc:
             raise RegistryError(f"unreadable metadata {meta_path}: {exc}") from exc
-        if meta.get("schema") != ARTIFACT_SCHEMA:
+        if meta.get("schema") not in _READABLE_SCHEMAS:
             raise RegistryError(
                 f"{name}:{version} has artifact schema {meta.get('schema')!r}; "
-                f"this build reads {ARTIFACT_SCHEMA!r}"
+                f"this build reads {_READABLE_SCHEMAS!r}"
             )
         return ModelRecord(name=name, version=version, path=vdir, meta=meta)
 

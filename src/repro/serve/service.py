@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..analysis import analyze_matrix
 from ..features import ALL_FEATURES, FEATURE_SETS
 from ..formats import CSRMatrix, FORMAT_NAMES, SparseFormat
@@ -545,6 +546,12 @@ class SelectionService:
             )
             decisions.append(decision)
             self._recent.put(rid, decision)
+        if obs.enabled():
+            # Per-decision latency histogram on the shared telemetry
+            # spine (disabled by default — the flag read is the only
+            # cost on the hot path).
+            for d in decisions:
+                obs.observe("serve.predict_ms", d.latency_ms)
         self.telemetry.record_batch(
             len(items),
             latency,

@@ -179,5 +179,22 @@ class TestRejection:
             decode({"__est__": "NoSuchEstimator", "params": {}, "state": {}}, {})
 
     def test_schema_constant_stable(self):
-        # Artifacts written by this build advertise the v1 layout.
-        assert STATE_SCHEMA == "repro-ml-state/v1"
+        # Artifacts written by this build advertise the v2 layout
+        # (v1 + compiled flat-array tree tables).
+        assert STATE_SCHEMA == "repro-ml-state/v2"
+
+    def test_v1_schema_tag_still_loads(self, clf_data, tmp_path):
+        # The v2 reader accepts v1-tagged artifacts (SCHEMA_COMPAT).
+        X, y = clf_data
+        est = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        path = tmp_path / "m.npz"
+        save_estimator(est, path)
+        with np.load(path, allow_pickle=False) as z:
+            header = json.loads(str(z["__state__"][()]))
+            arrays = {k: z[k] for k in z.files if k != "__state__"}
+        header["schema"] = "repro-ml-state/v1"
+        np.savez_compressed(
+            path, __state__=np.array(json.dumps(header)), **arrays
+        )
+        restored = load_estimator(path)
+        np.testing.assert_array_equal(est.predict(X), restored.predict(X))

@@ -15,12 +15,18 @@ def test_quick_run_writes_report(tmp_path, capsys):
     assert report["quick"] is True
     sections = report["sections"]
     for name in ("analysis_per_matrix", "label_per_matrix",
-                 "tree_fit", "boosting_fit", "campaign_e2e"):
+                 "tree_fit", "boosting_fit", "ml_inference",
+                 "campaign_e2e"):
         assert name in sections, name
     for name in ("analysis_per_matrix", "label_per_matrix",
-                 "tree_fit", "boosting_fit"):
+                 "tree_fit", "boosting_fit", "ml_inference"):
         assert sections[name]["speedup"] > 0
+    ml = sections["ml_inference"]
+    assert set(ml["batches"]) == {"1", "16", "256"}
+    assert ml["compile_ms"] > 0
+    assert sections["serving"]["predict_ms_histogram"]["count"] > 0
     assert sections["campaign_e2e"]["wall_s"] > 0
     assert sections["campaign_e2e"]["n_ok"] > 0
     text = capsys.readouterr().out
+    assert "ml_inference" in text
     assert "boosting_fit" in text and str(out) in text

@@ -79,6 +79,24 @@ class TestPrediction:
         by_vector = service.predict(feature_vector(feats, ALL_FEATURES)).chosen
         assert by_matrix == by_dict == by_vector
 
+    def test_predict_ms_histogram_recorded(self, selector, matrices):
+        # The serve.predict_ms histogram only records while obs is
+        # enabled; disabled (the default) it must stay silent.
+        from repro import obs
+
+        service = SelectionService(selector)
+        service.predict(matrices[0])
+        obs.disable(reset=True)
+        obs.enable()
+        try:
+            service.predict_batch(matrices[:3])
+            hist = obs.snapshot()["metrics"]["serve.predict_ms"]
+        finally:
+            obs.disable(reset=True)
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 3
+        assert hist["max"] >= 0.0
+
     def test_shared_set_vector_accepted(self, train):
         sel = FormatSelector("decision_tree", feature_set="imp").fit(train)
         service = SelectionService(sel)

@@ -38,6 +38,7 @@ PUBLIC_MODULES = [
     "repro.features",
     "repro.analysis",
     "repro.ml",
+    "repro.ml.compiled",
     "repro.ml.serialize",
     "repro.core",
     "repro.bench",
