@@ -368,6 +368,7 @@ def run_campaign(
     precision: str = "single",
     *,
     formats: Sequence[str] = FORMAT_NAMES,
+    tuned: bool = False,
     reps: int = DEFAULT_REPS,
     noise: Optional[NoiseModel] = None,
     seed: int = 0,
@@ -386,7 +387,14 @@ def run_campaign(
         :class:`~repro.matrices.SyntheticCorpus` works directly).
     device, precision, formats, reps, noise, seed:
         The campaign configuration, as in
-        :func:`~repro.core.dataset.build_dataset`.
+        :func:`~repro.core.dataset.build_dataset`.  ``formats`` may mix
+        bare format names and tuning configuration keys
+        (``"hyb?split=2"`` — see :mod:`repro.tuning`).
+    tuned:
+        Label over the joint format+parameter grid
+        (:func:`repro.tuning.tuned_space`) instead of the six default
+        formats.  Convenience flag: only applies when ``formats`` is
+        left at its default, so an explicit vocabulary always wins.
     workers:
         Process-pool width; ``1`` runs inline.  Defaults to
         ``config.workers`` when a config is given, else to the
@@ -413,6 +421,10 @@ def run_campaign(
     entries = list(corpus)
     noise = noise if noise is not None else NoiseModel()
     workers = _resolve_workers(workers, config)
+    if tuned and tuple(formats) == tuple(FORMAT_NAMES):
+        from .. import tuning
+
+        formats = tuning.tuned_space()
     formats = tuple(formats)
     shard_path: Optional[Path] = None
     if shard_dir is not None:

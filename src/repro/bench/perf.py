@@ -40,6 +40,12 @@ leave a tracked trail:
   the disabled fast path (the repo's ≤2% guard) and full tracing.
 * **campaign end-to-end** — wall time of a tiny measurement campaign,
   the integration number everything above feeds.
+* **tuning** — joint format+parameter auto-tuning headroom
+  (:mod:`repro.tuning`): labels a small campaign over
+  ``tuning.tuned_space()`` and reports the geometric-mean speedup of
+  the per-matrix best tuned configuration over the best all-default
+  format (the ``before``/``after`` columns are the mean best-default
+  and best-tuned kernel times).
 
 The *reference workload* is the repository's own default benchmark
 scale (``REPRO_SCALE=0.1`` → ~219 matrices × 17 features), i.e. the
@@ -586,6 +592,41 @@ def _bench_obs_overhead(X: np.ndarray, y: np.ndarray, quick: bool,
     }
 
 
+def _bench_tuning(scale: float, max_nnz: int, device) -> Dict:
+    """Tuned-vs-default headroom of the joint configuration space.
+
+    One campaign labeled over the full tuning grid suffices: the
+    default baseline is read off the same dataset's all-default
+    columns, so tuned and default candidates see the same matrices,
+    the same structural noise draw and the same rep count — a paired
+    comparison, not two runs.
+    """
+    from .. import tuning
+    from .campaign import run_campaign
+    from ..matrices import SyntheticCorpus
+
+    corpus = SyntheticCorpus(scale=scale, seed=0, max_nnz=max_nnz)
+    start = time.perf_counter()
+    ds = run_campaign(
+        corpus, device, "single", tuned=True, reps=10, workers=1
+    ).to_dataset()
+    wall = time.perf_counter() - start
+    summary = tuning.tuned_vs_default_speedup(ds.times, ds.formats)
+    default_cols = [j for j, f in enumerate(ds.formats) if "?" not in f]
+    best_default = np.min(ds.times[:, default_cols], axis=1)
+    best_tuned = np.min(ds.times, axis=1)
+    return {
+        "n_matrices": int(len(ds)),
+        "n_configs": len(ds.formats),
+        "before_s": float(np.mean(best_default)),
+        "after_s": float(np.mean(best_tuned)),
+        "speedup": summary["geomean"],
+        "max_speedup": summary["max"],
+        "tuned_wins": summary["tuned_wins"],
+        "wall_s": wall,
+    }
+
+
 def _bench_campaign(scale: float, max_nnz: int, device) -> Dict:
     """Wall time of one tiny end-to-end measurement campaign."""
     from .campaign import run_campaign
@@ -659,6 +700,9 @@ def run_benchmarks(quick: bool = False) -> Dict:
     sections["serving_concurrent"] = _bench_serving_concurrent(ds, quick)
     sections["obs_overhead"] = _bench_obs_overhead(X, y, quick, repeats)
     sections["campaign_e2e"] = _bench_campaign(
+        0.005 if quick else 0.02, max_nnz, device
+    )
+    sections["tuning"] = _bench_tuning(
         0.005 if quick else 0.02, max_nnz, device
     )
 

@@ -131,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a name,reason CSV of dropped matrices")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-matrix labeling timeout in seconds")
+    p.add_argument("--tuned", action="store_true",
+                   help="label over the joint format+parameter grid "
+                   "(repro.tuning.tuned_space()) instead of the six "
+                   "default formats")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke preset: clamp the corpus to scale<=0.01 "
+                   "and reps<=5")
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     p.add_argument("--out", type=Path, required=True, help="output .npz path")
 
@@ -398,7 +405,10 @@ def _cmd_campaign(args) -> int:
 
     devices = list(dict.fromkeys(args.devices or ["k40c"]))
     fleet = len(devices) > 1
-    corpus = SyntheticCorpus(scale=args.scale, seed=args.seed, max_nnz=args.max_nnz)
+    scale, reps = args.scale, args.reps
+    if getattr(args, "quick", False):
+        scale, reps = min(scale, 0.01), min(reps, 5)
+    corpus = SyntheticCorpus(scale=scale, seed=args.seed, max_nnz=args.max_nnz)
 
     def _progress(ev) -> None:
         if args.quiet:
@@ -426,7 +436,8 @@ def _cmd_campaign(args) -> int:
             corpus,
             DEVICES[device],
             args.precision,
-            reps=args.reps,
+            tuned=getattr(args, "tuned", False),
+            reps=reps,
             seed=args.seed,
             workers=args.workers,
             shard_dir=shard_dir,

@@ -116,10 +116,21 @@ def label_matrix(
     # One vectorized sweep covers every known format: feasibility, cost
     # models and noise sampling run batched instead of per-format calls,
     # with bit-identical results (and identical failure strings) to the
-    # historical benchmark loop.
-    known = [fmt for fmt in formats if fmt in KERNEL_MODELS]
+    # historical benchmark loop.  Tuning configuration keys
+    # ("hyb?split=2") count as known formats — the batch sweep
+    # dispatches them to the parameterised models.
+    def _known(fmt: str) -> bool:
+        if fmt in KERNEL_MODELS:
+            return True
+        if "?" in fmt:
+            from .. import tuning
+
+            return tuning.is_known_key(fmt)
+        return False
+
+    known = [fmt for fmt in formats if _known(fmt)]
     for fmt in formats:
-        if fmt not in KERNEL_MODELS:  # mirrors the per-call KeyError label
+        if not _known(fmt):  # mirrors the per-call KeyError label
             failed[fmt] = f"KeyError: {fmt!r}"
     sweep = executor.benchmark_batch([prof], formats=tuple(known), reps=reps)[0]
     for fmt in known:

@@ -10,6 +10,13 @@ Two modes, matching the paper's two experiments:
 Targets are regressed in log-space (execution times span six decades)
 and exponentiated on prediction; RME is always computed in linear
 space, as the paper defines it.
+
+Both modes treat the dataset's format vocabulary as opaque column
+names, so they extend unchanged to the joint format+parameter space of
+:mod:`repro.tuning`: train on a campaign labeled over
+``tuning.tuned_space()`` and each configuration key
+(``"csr?lanes=8"``) gets its own one-hot slot (joint mode) or
+regression head (per-format mode).
 """
 
 from __future__ import annotations

@@ -254,10 +254,28 @@ class FormatSelector:
         return self.estimator.predict(X)
 
     def predict_formats(self, data: Union[SpMVDataset, np.ndarray]) -> np.ndarray:
-        """Predict best-format *names* (requires dataset-fitted selector)."""
+        """Predict best-format *names* (requires dataset-fitted selector).
+
+        When the selector was fitted over a joint format+parameter
+        space (see :mod:`repro.tuning`), the "names" are configuration
+        keys (``"csr?lanes=8"``); use :meth:`predict_configs` for the
+        structured view.
+        """
         if self.formats_ is None:
             raise RuntimeError("selector was fitted on raw arrays; format names unknown")
         return np.array(self.formats_)[self.predict(data)]
+
+    def predict_configs(self, data: Union[SpMVDataset, np.ndarray]) -> list:
+        """Predict best configurations (requires dataset-fitted selector).
+
+        Returns one :class:`repro.tuning.Configuration` per sample —
+        the structured counterpart of :meth:`predict_formats`.  Bare
+        format names in the vocabulary map to that format's all-default
+        configuration.
+        """
+        from .. import tuning
+
+        return [tuning.Configuration.from_key(k) for k in self.predict_formats(data)]
 
     def score(self, data: Union[SpMVDataset, np.ndarray], y: Optional[np.ndarray] = None) -> float:
         """Classification accuracy on a dataset or (X, y) pair."""

@@ -13,7 +13,7 @@ blocks wastes bandwidth exactly like ELL padding does.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -91,8 +91,31 @@ class BSRMatrix(SparseFormat):
 
     @classmethod
     def from_coo(
-        cls, coo: COOMatrix, *, block_shape: Tuple[int, int] = (4, 4)
+        cls,
+        coo: COOMatrix,
+        *,
+        block_shape: Optional[Tuple[int, int]] = None,
+        params: Optional[dict] = None,
     ) -> "BSRMatrix":
+        """Block the matrix into ``block_shape`` tiles (default 4x4).
+
+        ``block_shape`` may equivalently be passed through the uniform
+        tuning-knob mapping ``params`` (consistent with
+        ``repro.tuning.Configuration``); passing both raises.
+        """
+        params = dict(params or {})
+        shape_param = params.pop("block_shape", None)
+        if params:
+            raise FormatError(f"unknown BSR parameters: {sorted(params)}")
+        if shape_param is not None:
+            if block_shape is not None:
+                raise FormatError(
+                    "pass either block_shape= or params={'block_shape': ...}, "
+                    "not both"
+                )
+            block_shape = tuple(shape_param)
+        if block_shape is None:
+            block_shape = (4, 4)
         r, c = map(int, block_shape)
         if r <= 0 or c <= 0:
             raise FormatError("block dimensions must be positive")
@@ -144,6 +167,12 @@ class BSRMatrix(SparseFormat):
         return COOMatrix(self.shape, rows[keep], cols[keep], self.blocks[bi, ri, ci][keep])
 
     # -- metadata -------------------------------------------------------
+
+    @property
+    def params(self) -> dict:
+        """Tuning parameters, uniform with ``repro.tuning`` (derived
+        from the stored block shape, so always accurate)."""
+        return {"block_shape": self.block_shape}
 
     @property
     def n_blocks(self) -> int:

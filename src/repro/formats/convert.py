@@ -57,8 +57,17 @@ BASIC_FORMATS = ("ell", "csr", "hyb")
 ADVANCED_FORMATS = ("csr5", "merge_csr")
 
 
+#: Formats whose ``from_coo`` takes the uniform tuning-knob mapping
+#: (the others have no storage-affecting parameters).
+_PARAM_FORMATS = ("ell", "hyb", "bsr")
+
+
 def as_format(
-    matrix: Union[SparseFormat, COOMatrix], name: str, **kwargs
+    matrix: Union[SparseFormat, COOMatrix],
+    name,
+    *,
+    params=None,
+    **kwargs,
 ) -> SparseFormat:
     """Convert ``matrix`` to the format called ``name``.
 
@@ -67,11 +76,21 @@ def as_format(
     matrix:
         Any :class:`~repro.formats.base.SparseFormat` instance.
     name:
-        One of :data:`FORMAT_NAMES`.
+        One of :data:`FORMAT_NAMES`, a tuning configuration key
+        (``"hyb?split=2"``) or a ``repro.tuning.Configuration`` — the
+        configuration's storage parameters are applied to the
+        conversion (execution-only knobs like CSR ``lanes`` are
+        validated but do not change the stored data).
+    params:
+        Uniform tuning-knob mapping, consistent with
+        ``repro.tuning.Configuration`` (merged over parameters carried
+        by ``name``); forwarded to ``from_coo(params=...)`` for the
+        parameterised formats.
     **kwargs:
         Format-specific construction options (e.g. ``threshold`` for
         HYB, ``omega``/``sigma`` for CSR5, ``partitions`` for merge
-        CSR, ``max_padding_ratio`` for ELL).
+        CSR, ``max_padding_ratio`` for ELL).  These ad-hoc spellings
+        delegate to the same ``from_coo`` knobs ``params`` feeds.
 
     Raises
     ------
@@ -81,12 +100,29 @@ def as_format(
         If the conversion is structurally infeasible (e.g. ELL padding
         guard tripped).
     """
+    if not isinstance(name, str) or "?" in name:
+        from .. import tuning
+
+        config = tuning.coerce(name)
+        merged = dict(config.non_default_params)
+        if params:
+            merged.update(params)
+        name, params = config.format, merged
     try:
         target = FORMATS[name]
     except KeyError:
         raise KeyError(
             f"unknown format {name!r}; expected one of {sorted(FORMATS)}"
         ) from None
+    if params:
+        if name in _PARAM_FORMATS:
+            kwargs = dict(kwargs, params=params)
+        else:
+            from .. import tuning
+
+            # Validate names/values; execution-only knobs (CSR lanes)
+            # leave the stored data unchanged.
+            tuning.Configuration(name, params)
     if isinstance(matrix, target) and not kwargs:
         return matrix
     coo = matrix.to_coo()

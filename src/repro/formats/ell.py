@@ -82,7 +82,11 @@ class ELLMatrix(SparseFormat):
 
     @classmethod
     def from_coo(
-        cls, coo: COOMatrix, *, max_padding_ratio: Optional[float] = None
+        cls,
+        coo: COOMatrix,
+        *,
+        max_padding_ratio: Optional[float] = None,
+        params: Optional[dict] = None,
     ) -> "ELLMatrix":
         """Pack a canonical COO matrix into ELL layout.
 
@@ -93,7 +97,21 @@ class ELLMatrix(SparseFormat):
             ``width * n_rows > max_padding_ratio * nnz`` — the analogue
             of an ELL allocation failing on device for wildly skewed
             matrices (the paper drops such cases from its dataset).
+        params:
+            Uniform tuning-knob mapping, consistent with
+            ``repro.tuning.Configuration``: ``rows_per_thread``
+            (execution-only chunking knob, recorded on the instance)
+            and ``width_cap`` (raise :class:`FormatError` when the
+            padded width exceeds it — the conversion-time twin of the
+            executor's feasibility check).
         """
+        params = dict(params or {})
+        rpt = int(params.pop("rows_per_thread", 1))
+        width_cap = params.pop("width_cap", None)
+        if params:
+            raise FormatError(f"unknown ELL parameters: {sorted(params)}")
+        if rpt < 1:
+            raise FormatError(f"rows_per_thread must be >= 1, got {rpt}")
         lengths = coo.row_lengths()
         width = int(lengths.max(initial=0))
         n_rows = coo.n_rows
@@ -103,6 +121,11 @@ class ELLMatrix(SparseFormat):
                     f"ELL padding ratio {width * n_rows / coo.nnz:.1f} exceeds "
                     f"limit {max_padding_ratio}"
                 )
+        if width_cap is not None and coo.nnz and width > int(width_cap):
+            raise FormatError(
+                f"ELL width {width} exceeds the configured width cap "
+                f"{int(width_cap)}"
+            )
         col_idx = np.full((n_rows, max(width, 1) if n_rows else 0), PAD_COL, dtype=INDEX_DTYPE)
         values = np.zeros_like(col_idx, dtype=coo.dtype)
         if coo.nnz:
@@ -116,7 +139,21 @@ class ELLMatrix(SparseFormat):
         if width == 0:
             col_idx = col_idx[:, :0]
             values = values[:, :0]
-        return cls(coo.shape, col_idx, values)
+        ell = cls(coo.shape, col_idx, values)
+        ell._params = {
+            "rows_per_thread": rpt,
+            "width_cap": None if width_cap is None else int(width_cap),
+        }
+        return ell
+
+    @property
+    def params(self) -> dict:
+        """Tuning parameters this instance was built with (defaults
+        for instances constructed directly from arrays)."""
+        return dict(
+            getattr(self, "_params", None)
+            or {"rows_per_thread": 1, "width_cap": None}
+        )
 
     def to_coo(self) -> COOMatrix:
         live = self.col_idx != PAD_COL

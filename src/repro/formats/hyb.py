@@ -81,12 +81,37 @@ class HYBMatrix(SparseFormat):
 
     @classmethod
     def from_coo(
-        cls, coo: COOMatrix, *, threshold: Optional[int] = None
+        cls,
+        coo: COOMatrix,
+        *,
+        threshold: Optional[int] = None,
+        params: Optional[dict] = None,
     ) -> "HYBMatrix":
         """Split a canonical COO matrix at ``threshold`` entries per row.
 
-        ``threshold=None`` applies the paper's ``nnz_mu`` rule.
+        ``threshold=None`` applies the paper's ``nnz_mu`` rule.  The
+        uniform tuning-knob mapping ``params`` accepts ``split``, a
+        multiplier on the mean-row-length rule
+        (``k = max(1, ceil(split * nnz / n_rows))``, matching
+        ``repro.tuning``); passing both ``threshold`` and a ``split``
+        raises, since they set the same knob.
         """
+        params = dict(params or {})
+        split = params.pop("split", None)
+        if params:
+            raise FormatError(f"unknown HYB parameters: {sorted(params)}")
+        if split is not None:
+            if threshold is not None:
+                raise FormatError(
+                    "pass either threshold= or params={'split': ...}, not both"
+                )
+            split = float(split)
+            if split <= 0:
+                raise FormatError(f"split must be > 0, got {split}")
+            if coo.n_rows > 0 and coo.nnz > 0:
+                threshold = max(1, math.ceil(split * coo.nnz / coo.n_rows))
+            else:
+                threshold = 0
         k = mu_threshold(coo) if threshold is None else int(threshold)
         if k < 0:
             raise FormatError(f"threshold must be non-negative, got {k}")
@@ -111,7 +136,20 @@ class HYBMatrix(SparseFormat):
             coo.val[~in_ell],
             canonical=False,
         )
-        return cls(coo.shape, ELLMatrix.from_coo(ell_part), coo_part)
+        hyb = cls(coo.shape, ELLMatrix.from_coo(ell_part), coo_part)
+        # Explicit thresholds override the split rule, so no split value
+        # describes them; record None in that case.
+        hyb._params = {
+            "split": split if split is not None
+            else (1.0 if threshold is None else None)
+        }
+        return hyb
+
+    @property
+    def params(self) -> dict:
+        """Tuning parameters this instance was built with (``split`` is
+        ``None`` when an explicit ``threshold=`` overrode the rule)."""
+        return dict(getattr(self, "_params", None) or {"split": 1.0})
 
     def to_coo(self) -> COOMatrix:
         ell_coo = self.ell.to_coo()

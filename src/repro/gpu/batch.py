@@ -562,6 +562,8 @@ def estimate_batch(
         :class:`MatrixProfile` objects (packed automatically).
     formats:
         Format names to evaluate (columns of the result, in order).
+        Tuning configuration keys (``"hyb?split=2"``) are accepted and
+        dispatch to the parameterised models in :mod:`repro.tuning`.
         ``None`` evaluates every registered kernel model.
     device:
         Target :class:`~repro.gpu.device.DeviceSpec` (required).
@@ -578,13 +580,19 @@ def estimate_batch(
     names = tuple(KERNEL_MODELS) if formats is None else tuple(formats)
     columns = []
     for fmt in names:
-        try:
-            model = BATCH_KERNEL_MODELS[fmt]
-        except KeyError:
-            raise KeyError(
-                f"unknown format {fmt!r}; expected one of {sorted(KERNEL_MODELS)}"
-            ) from None
-        columns.append(model(batch, device, precision))
+        model = BATCH_KERNEL_MODELS.get(fmt)
+        if model is not None:
+            columns.append(model(batch, device, precision))
+            continue
+        if "?" in fmt:
+            from .. import tuning
+
+            if tuning.is_known_key(fmt):
+                columns.append(tuning.batch_columns(fmt, batch, device, precision))
+                continue
+        raise KeyError(
+            f"unknown format {fmt!r}; expected one of {sorted(KERNEL_MODELS)}"
+        )
     n, f = len(batch), len(names)
     fields = {
         name: np.empty((n, f), dtype=np.float64) for name in _BREAKDOWN_FIELDS
@@ -603,7 +611,13 @@ def format_bytes_batch(
     Twin of ``SpMVExecutor._format_bytes``: integer formats stay int64
     so the executor's OOM comparison is exact, CSR5 carries its
     fractional bit-flag term as float64 — matching the scalar types.
+    Tuning configuration keys dispatch to the parameterised footprints
+    in :mod:`repro.tuning`.
     """
+    if "?" in fmt:
+        from .. import tuning
+
+        return tuning.config_bytes_batch(batch, fmt, precision)
     v = _itemsize(precision)
     nnz, rows = batch.nnz, batch.n_rows
     if fmt == "coo":

@@ -90,6 +90,15 @@ class DeviceSpec:
     bw_efficiency:
         Fraction of the peak bandwidth attainable by a perfectly
         coalesced streaming kernel (ECC + DRAM inefficiency).
+    dram_pj_per_byte:
+        Energy of moving one byte through the DRAM interface, in
+        picojoules (first-order energy-proxy coefficient; HBM parts sit
+        well below GDDR).
+    pj_per_flop:
+        Energy of one useful floating-point operation, picojoules.
+    static_watts:
+        Static/leakage power charged for the kernel's duration, watts
+        (board idle draw attributable to a resident kernel).
     """
 
     name: str
@@ -107,6 +116,9 @@ class DeviceSpec:
     atomic_efficiency: float = 0.5
     fp64_throughput_ratio: float = 0.5
     bw_efficiency: float = 0.80
+    dram_pj_per_byte: float = 22.0
+    pj_per_flop: float = 8.0
+    static_watts: float = 55.0
 
     def __post_init__(self) -> None:
         if self.arch not in ARCHS:
@@ -177,6 +189,9 @@ KEPLER_K40C = DeviceSpec(
     atomic_efficiency=0.35,
     fp64_throughput_ratio=1.0 / 3.0,
     bw_efficiency=0.72,
+    dram_pj_per_byte=28.0,  # GDDR5
+    pj_per_flop=12.0,
+    static_watts=70.0,
 )
 
 #: The paper's Pascal testbed (56 SMs / 64 cores/SM / 1328 MHz / 16 GB /
@@ -195,6 +210,9 @@ PASCAL_P100 = DeviceSpec(
     atomic_efficiency=0.65,
     fp64_throughput_ratio=0.5,
     bw_efficiency=0.78,
+    dram_pj_per_byte=10.0,  # HBM2
+    pj_per_flop=7.0,
+    static_watts=60.0,
 )
 
 #: A Volta-class Tesla V100 (80 SMs / 64 cores/SM / 1530 MHz / 16 GB /
@@ -215,6 +233,9 @@ VOLTA_V100 = DeviceSpec(
     atomic_efficiency=0.75,
     fp64_throughput_ratio=0.5,
     bw_efficiency=0.82,
+    dram_pj_per_byte=9.0,  # HBM2
+    pj_per_flop=6.0,
+    static_watts=65.0,
 )
 
 #: A many-core CPU descriptor à la Chen et al.'s Knights Landing
@@ -238,6 +259,9 @@ KNL_7250 = DeviceSpec(
     atomic_efficiency=0.20,
     fp64_throughput_ratio=0.5,
     bw_efficiency=0.85,
+    dram_pj_per_byte=15.0,  # MCDRAM
+    pj_per_flop=9.0,
+    static_watts=90.0,
 )
 
 #: Registry of preset devices, keyed by short alias.

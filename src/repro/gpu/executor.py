@@ -201,6 +201,10 @@ class SpMVExecutor:
 
     def _format_bytes(self, prof: MatrixProfile, fmt: str) -> float:
         """Analytic device footprint of ``fmt`` for this matrix."""
+        if "?" in fmt:
+            from .. import tuning
+
+            return tuning.config_bytes(prof, fmt, self.precision)
         v = 4 if self.precision == "single" else 8
         nnz, rows = prof.nnz, prof.n_rows
         if fmt == "coo":
@@ -223,10 +227,17 @@ class SpMVExecutor:
         raise KeyError(fmt)
 
     def check_feasible(self, matrix: Union[SparseFormat, MatrixProfile], fmt: str) -> None:
-        """Raise a :class:`SimulationError` if ``fmt`` cannot run here."""
+        """Raise a :class:`SimulationError` if ``fmt`` cannot run here.
+
+        ``fmt`` may be a tuning configuration key; parameter-specific
+        constraints (e.g. the ELL width cap) are checked between the
+        padding and OOM checks, with the padding limit keyed off the
+        *base* format so every ELL configuration honours it.
+        """
         prof = self.profile(matrix)
+        base_fmt = fmt.partition("?")[0] if "?" in fmt else fmt
         if (
-            fmt == "ell"
+            base_fmt == "ell"
             and self.ell_padding_limit is not None
             and prof.nnz
             and prof.ell_padding_ratio > self.ell_padding_limit
@@ -235,6 +246,10 @@ class SpMVExecutor:
                 f"ELL padding ratio {prof.ell_padding_ratio:.1f} exceeds the "
                 f"limit of {self.ell_padding_limit:g}"
             )
+        if "?" in fmt:
+            from .. import tuning
+
+            tuning.check_feasible_config(prof, fmt)
         v = 4 if self.precision == "single" else 8
         need = self._format_bytes(prof, fmt) + (prof.n_rows + prof.n_cols) * v
         if need > self.device.global_mem_bytes:
@@ -265,7 +280,8 @@ class SpMVExecutor:
         for fmt in dict.fromkeys(formats):
             need = format_bytes_batch(batch, fmt, self.precision) + vec_bytes
             oom = need > self.device.global_mem_bytes
-            if fmt == "ell" and pad_bad is not None:
+            base_fmt = fmt.partition("?")[0] if "?" in fmt else fmt
+            if base_fmt == "ell" and pad_bad is not None:
                 # Padding blow-up is reported before OOM, as in the
                 # scalar check.
                 for i in np.nonzero(pad_bad)[0]:
@@ -277,6 +293,18 @@ class SpMVExecutor:
                         f"limit of {self.ell_padding_limit:g}",
                     )
                 oom = oom & ~pad_bad
+            if "?" in fmt:
+                # Parameter-specific infeasibilities (e.g. the ELL
+                # width cap) are reported before OOM, after padding —
+                # same order as the scalar check.
+                from .. import tuning
+
+                for i, (error, reason) in tuning.infeasible_batch(
+                    batch, fmt
+                ).items():
+                    if fmt not in failures[i]:
+                        failures[i][fmt] = FormatFailure(fmt, error, reason)
+                        oom[i] = False
             for i in np.nonzero(oom)[0]:
                 i = int(i)
                 failures[i][fmt] = FormatFailure(

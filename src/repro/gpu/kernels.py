@@ -404,13 +404,20 @@ def estimate_time(
 ) -> CostBreakdown:
     """Estimate one SpMV invocation of ``fmt`` on ``device``.
 
+    ``fmt`` may also be a tuning configuration key (``"hyb?split=2"``),
+    which dispatches to the parameterised models in :mod:`repro.tuning`
+    (an all-default key is just the bare format name, handled here).
     Raises ``KeyError`` for unknown formats and ``ValueError`` for an
     unknown precision.
     """
-    try:
-        model = KERNEL_MODELS[fmt]
-    except KeyError:
+    model = KERNEL_MODELS.get(fmt)
+    if model is None:
+        if "?" in fmt:
+            from .. import tuning
+
+            if tuning.is_known_key(fmt):
+                return tuning.estimate_config(fmt, profile, device, precision)
         raise KeyError(
             f"unknown format {fmt!r}; expected one of {sorted(KERNEL_MODELS)}"
-        ) from None
+        )
     return model(profile, device, precision)

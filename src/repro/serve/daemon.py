@@ -7,11 +7,17 @@ a pipe, a socket wrapper or a test's ``StringIO``.  Operations:
     One of ``"path"`` (a ``.mtx`` file), ``"features"`` (dict of the 17
     canonical features) or ``"vector"`` (ordered feature list).  An
     optional ``"id"`` names the request for later feedback.  Response:
-    ``{"ok": true, "id": ..., "format": ..., "latency_ms": ...}``.
+    ``{"ok": true, "id": ..., "format": ..., "config": {...},
+    "latency_ms": ...}`` — ``format`` is the base format name (legacy
+    clients), ``config`` the full tuning configuration
+    (``{"format": ..., "params": {...}, "key": ...}``).
 
-``{"op": "feedback", "id": ..., "times": {fmt: seconds}}``
-    Report observed per-format execution times of a served decision
-    (include ``"chosen"`` for ids outside the recent window).
+``{"op": "feedback", "id": ..., "times": {key: seconds}}``
+    Report observed per-configuration execution times of a served
+    decision, keyed by configuration key.  Include ``"chosen"`` (or the
+    ``"config"`` alias) for ids outside the recent window — either a
+    configuration key/object or, for one deprecation cycle, a bare
+    format string.
 
 ``{"op": "stats"}``
     Telemetry snapshot (latency percentiles, throughput, cache hit
@@ -93,10 +99,13 @@ def handle_request(service: SelectionService, request: Dict) -> Dict:
         if op == "predict":
             return _handle_predict(service, request)
         if op == "feedback":
+            chosen = request.get("chosen")
+            if chosen is None:
+                chosen = request.get("config")
             event = service.record_feedback(
                 str(request["id"]),
                 request["times"],
-                chosen=request.get("chosen"),
+                chosen=chosen,
             )
             return {
                 "ok": True,

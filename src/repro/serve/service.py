@@ -34,7 +34,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .. import obs
+from .. import obs, tuning
 from ..analysis import analyze_matrix
 from ..features import ALL_FEATURES, FEATURE_SETS
 from ..formats import CSRMatrix, FORMAT_NAMES, SparseFormat
@@ -51,12 +51,19 @@ MODES = ("direct", "indirect", "hybrid")
 
 @dataclass(frozen=True)
 class Decision:
-    """One served format decision."""
+    """One served configuration decision.
+
+    ``chosen`` is the configuration *key* from the serving vocabulary
+    (a bare format name for all-default configurations, ``"fmt?..."``
+    otherwise); ``config`` is the same decision as a full
+    :class:`~repro.tuning.Configuration` (``None`` only when the vocab
+    entry is not a parseable configuration, e.g. a custom format name).
+    """
 
     request_id: str
-    chosen: str                             #: recommended format name
+    chosen: str                             #: recommended configuration key
     chosen_index: int                       #: index into ``formats``
-    formats: Tuple[str, ...]                #: format vocabulary
+    formats: Tuple[str, ...]                #: configuration-key vocabulary
     mode: str                               #: strategy that produced it
     predicted_times: Optional[Dict[str, float]] = None  #: regressor output
     direct_choice: Optional[str] = None     #: classifier pick (hybrid only)
@@ -64,18 +71,26 @@ class Decision:
     latency_ms: float = 0.0                 #: this request's share of batch
                                             #: time (cache hits pay only the
                                             #: overhead share, not model time)
+    config: Optional[tuning.Configuration] = None  #: full configuration
     meta: Dict = field(default_factory=dict, compare=False)
 
     def to_dict(self) -> Dict:
-        """JSON-able view (what the daemon returns on the wire)."""
+        """JSON-able view (what the daemon returns on the wire).
+
+        Carries both keys for the deprecation cycle: ``format`` stays
+        the *base* format name legacy clients expect, ``config`` is the
+        full configuration (format + resolved params + key).
+        """
         out = {
             "id": self.request_id,
-            "format": self.chosen,
+            "format": self.config.format if self.config is not None else self.chosen,
             "format_index": self.chosen_index,
             "mode": self.mode,
             "cached": self.cached,
             "latency_ms": self.latency_ms,
         }
+        if self.config is not None:
+            out["config"] = self.config.as_dict()
         if self.predicted_times is not None:
             out["predicted_times"] = self.predicted_times
         if self.direct_choice is not None:
@@ -87,6 +102,13 @@ def _names_of(feature_set) -> Tuple[str, ...]:
     if isinstance(feature_set, str):
         return tuple(FEATURE_SETS[feature_set])
     return tuple(feature_set)
+
+
+def _parse_config(key: str) -> Optional[tuning.Configuration]:
+    try:
+        return tuning.Configuration.from_key(key)
+    except tuning.ConfigError:
+        return None
 
 
 class SelectionService:
@@ -114,6 +136,15 @@ class SelectionService:
     tolerance:
         Hybrid-mode slack: the classifier's pick survives while its
         predicted time is ≤ ``(1 + tolerance) ×`` the predicted best.
+    energy_weight:
+        Multi-objective scalarisation weight ``w ∈ [0, 1]`` applied to
+        simulator-backed decisions: candidates are ranked by
+        ``seconds^(1-w) · joules^w`` (see :func:`repro.tuning.scalarize`
+        and :func:`repro.tuning.energy_joules`).  ``0`` (default) ranks
+        purely by time — bit-identical to the pre-energy behaviour;
+        ``1`` ranks purely by the energy proxy.  With ``w > 0`` the
+        ``predicted_times`` on simulator decisions are the scalarised
+        scores, not raw seconds.
     feature_cache_size / decision_cache_size:
         LRU bounds (``None`` = unbounded, ``0`` disables the cache).
     history:
@@ -129,6 +160,7 @@ class SelectionService:
         simulator=None,
         mode: str = "direct",
         tolerance: float = 0.1,
+        energy_weight: float = 0.0,
         feature_cache_size: Optional[int] = 512,
         decision_cache_size: Optional[int] = 512,
         history: int = 4096,
@@ -142,13 +174,24 @@ class SelectionService:
             raise ValueError(f"{mode!r} mode requires a predictor or a simulator")
         if tolerance < 0:
             raise ValueError("tolerance must be >= 0")
+        if not 0.0 <= float(energy_weight) <= 1.0:
+            raise ValueError(
+                f"energy_weight must be in [0, 1], got {energy_weight}"
+            )
         self.selector = selector
         self.predictor = predictor
         self.simulator = simulator
         self.mode = mode
         self.tolerance = float(tolerance)
+        self.energy_weight = float(energy_weight)
 
         self.formats = self._resolve_formats()
+        # Parsed view of the vocabulary: the Configuration carried on
+        # each Decision (None for vocab entries that are not parseable
+        # configuration keys, e.g. custom format names).
+        self._format_configs = tuple(
+            _parse_config(key) for key in self.formats
+        )
         self._sel_names = _names_of(selector.feature_set) if selector else None
         self._pred_names = _names_of(predictor.feature_set) if predictor else None
 
@@ -359,22 +402,31 @@ class SelectionService:
     # -- selection ---------------------------------------------------------
 
     def _simulate_times(self, profiles: Sequence) -> np.ndarray:
-        """Per-format times from one batched simulator sweep.
+        """Per-configuration scores from one batched simulator sweep.
 
-        All N profiles × F formats are estimated in a single vectorised
-        :meth:`~repro.gpu.SpMVExecutor.estimate_batch` call; formats the
-        device cannot run (OOM, padding blow-up, degenerate kernels) are
-        masked to ``inf`` so argmin/hybrid logic avoids them.
+        All N profiles × F configurations are estimated in a single
+        vectorised :meth:`~repro.gpu.SpMVExecutor.estimate_batch` call;
+        configurations the device cannot run (OOM, padding blow-up,
+        width-cap violations, degenerate kernels) are masked to ``inf``
+        so argmin/hybrid logic avoids them.  With ``energy_weight > 0``
+        the returned scores blend time with the energy proxy via
+        :func:`repro.tuning.scalarize` (still ``inf`` where infeasible).
         """
         ex = self.simulator
         batch = ProfileBatch.from_profiles(profiles)
         cost = ex.estimate_batch(batch, self.formats)
         seconds = cost.seconds.copy()
+        if self.energy_weight > 0.0:
+            energy = tuning.energy_joules(cost, ex.device)
+            scores = tuning.scalarize(seconds, energy, self.energy_weight)
+        else:
+            scores = seconds
         for i, failed in enumerate(ex.feasibility_batch(batch, self.formats)):
             for fmt in failed:
-                seconds[i, cost.column(fmt)] = np.inf
-        seconds[~np.isfinite(seconds)] = np.inf
-        return seconds
+                scores[i, cost.column(fmt)] = np.inf
+        scores[~np.isfinite(seconds)] = np.inf
+        scores[~np.isfinite(scores)] = np.inf
+        return scores
 
     def _decide_batch(
         self,
@@ -436,7 +488,9 @@ class SelectionService:
 
         Items may mix matrices, feature dicts and 1-D vectors.  Feature
         extraction is cached per matrix structure; decisions are cached
-        per (features, mode, tolerance); all cache misses of compatible
+        per (features, vocabulary, mode, tolerance, energy weight) so
+        configurations sharing a base format (e.g. ``csr`` and
+        ``csr?lanes=8`` vocabularies) never alias; all cache misses of compatible
         feature order run through each model in **one** vectorised call,
         with duplicate decision keys collapsed to a single model row (a
         cross-client micro-batch often carries the same hot matrix more
@@ -466,17 +520,31 @@ class SelectionService:
                 # Simulator decisions depend on the full structural
                 # profile (not just the 17 features) and on the backend
                 # device/precision — key them by structure digest.
+                # The vocabulary is part of the key: two configurations
+                # of one base format (e.g. "csr" vs "csr?lanes=8") must
+                # never alias a cached decision, and neither may two
+                # services whose vocabularies differ only in parameters.
                 dkey = (
                     "dec-sim",
                     prof.digest,
+                    self.formats,
                     self.mode,
                     self.tolerance,
+                    self.energy_weight,
                     self.simulator.device.name,
                     self.simulator.precision,
                 )
             else:
                 prof = None  # regressor path: profile is irrelevant
-                dkey = ("dec", names, vec.tobytes(), self.mode, self.tolerance)
+                dkey = (
+                    "dec",
+                    names,
+                    vec.tobytes(),
+                    self.formats,
+                    self.mode,
+                    self.tolerance,
+                    self.energy_weight,
+                )
             payload = (
                 self._decision_cache.get(dkey)
                 if self._decision_cache is not None
@@ -543,6 +611,7 @@ class SelectionService:
                 ),
                 cached=cached,
                 latency_ms=overhead_ms if cached else overhead_ms + model_ms,
+                config=self._format_configs[chosen_idx],
             )
             decisions.append(decision)
             self._recent.put(rid, decision)
@@ -578,13 +647,17 @@ class SelectionService:
         request_id: str,
         observed: Mapping[str, float],
         *,
-        chosen: Optional[str] = None,
+        chosen: Optional[Union[str, Mapping, tuning.Configuration]] = None,
     ):
-        """Report observed per-format execution times for a served decision.
+        """Report observed per-configuration execution times for a decision.
 
         ``request_id`` normally names a recent decision (the service
         looks up what it chose); pass ``chosen`` explicitly for
-        decisions that aged out of the window.  Returns the
+        decisions that aged out of the window.  ``chosen`` accepts a
+        :class:`~repro.tuning.Configuration`, a configuration mapping
+        (``{"format": ..., "params": ...}``), or a configuration key;
+        bare format strings keep working for one deprecation cycle with
+        a one-time :class:`DeprecationWarning`.  Returns the
         :class:`~repro.serve.feedback.FeedbackEvent`.
         """
         if chosen is None:
@@ -595,6 +668,16 @@ class SelectionService:
                     "decisions outside the recent window"
                 )
             chosen = decision.chosen
+        else:
+            try:
+                chosen = tuning.coerce(
+                    chosen, context="SelectionService.record_feedback(chosen=...)"
+                ).key
+            except tuning.ConfigError:
+                # Custom vocabulary name outside the tuning grids: keep
+                # the legacy pass-through behaviour.
+                if not isinstance(chosen, str):
+                    raise
         event = self.feedback.record(str(request_id), chosen, observed)
         self.telemetry.record_regret(event.regret)
         adaptive = self._adaptive
@@ -608,6 +691,7 @@ class SelectionService:
         snap["service"] = {
             "mode": self.mode,
             "tolerance": self.tolerance,
+            "energy_weight": self.energy_weight,
             "formats": list(self.formats),
             "selector": getattr(self.selector, "model_name", None),
             "predictor": getattr(self.predictor, "model_name", None),

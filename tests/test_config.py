@@ -94,7 +94,7 @@ class TestObjectProtocol:
         d = ReproConfig().to_dict()
         assert json.loads(json.dumps(d)) == d
         assert set(d) == {"scale", "max_nnz", "seed", "reps", "workers",
-                          "cache_dir"}
+                          "cache_dir", "energy_weight"}
 
 
 class TestCallSites:

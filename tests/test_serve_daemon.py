@@ -333,3 +333,33 @@ class TestObservability:
         # One snapshot at served==2 plus the final one at loop exit; the
         # three garbage lines advanced nothing.
         assert events.count("serve.snapshot") == 2
+
+
+class TestConfigProtocol:
+    """Wire-level Configuration surface of the daemon."""
+
+    def test_predict_response_carries_config(self, service, matrices):
+        from repro import tuning
+
+        response = handle_request(
+            service,
+            {"op": "predict", "id": "c1",
+             "features": extract_features(matrices[0])},
+        )
+        assert response["ok"] is True
+        config = response["config"]
+        # "format" stays the bare base name for legacy clients; the
+        # structured configuration round-trips through its key.
+        assert response["format"] == config["format"]
+        parsed = tuning.Configuration.from_key(config["key"])
+        assert parsed.as_dict() == config
+
+    def test_feedback_accepts_config_alias(self, service, train):
+        times = {f: 1.0 for f in train.formats}
+        response = handle_request(
+            service,
+            {"op": "feedback", "id": "cfg-1", "times": times,
+             "config": {"format": train.formats[0], "params": {}}},
+        )
+        assert response["ok"] is True
+        assert response["regret"] == pytest.approx(0.0)

@@ -375,3 +375,130 @@ class TestSimulatorBackend:
             "device": "Tesla V100",
             "precision": "single",
         }
+
+
+class TestConfigurationDecisions:
+    """The Configuration-first decision surface (repro.tuning)."""
+
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        from repro.gpu import DEVICES, SpMVExecutor
+
+        return SpMVExecutor(DEVICES["k40c"], "single", seed=0)
+
+    def test_decision_carries_full_configuration(self, simulator, matrices):
+        from repro import tuning
+
+        service = SelectionService(simulator=simulator, mode="indirect")
+        decision = service.predict(matrices[0])
+        assert isinstance(decision.config, tuning.Configuration)
+        assert decision.config.key == decision.chosen
+        wire = decision.to_dict()
+        # Both keys for the deprecation cycle: "format" is the base
+        # format name, "config" the structured configuration.
+        assert wire["format"] == decision.config.format
+        assert wire["config"]["key"] == decision.chosen
+        assert wire["config"]["params"] == dict(decision.config.resolved_params)
+
+    def test_tuned_vocabulary_round_trips(self, simulator, matrices):
+        """A selector fitted over the joint space serves config keys."""
+        from repro import tuning
+        from repro.bench.campaign import run_campaign
+        from repro.matrices import SyntheticCorpus
+
+        corpus = list(SyntheticCorpus(scale=0.005, seed=5, max_nnz=50_000))
+        ds = run_campaign(corpus, simulator.device, "single", tuned=True,
+                          reps=4, seed=0, workers=1).to_dataset()
+        selector = FormatSelector("decision_tree", feature_set="set123").fit(ds)
+        service = SelectionService(selector)
+        assert service.formats == tuning.tuned_space()
+        decision = service.predict(matrices[0])
+        assert decision.config is not None
+        assert decision.to_dict()["format"] == decision.config.format
+        assert tuning.Configuration.from_key(decision.chosen) == decision.config
+
+    def test_decision_cache_keyed_by_vocabulary(self, simulator, matrices):
+        """Two configs of one format must never alias a cache entry."""
+        from repro import tuning
+
+        service = SelectionService(simulator=simulator, mode="indirect")
+        first = service.predict(matrices[0])
+        assert service.predict(matrices[0]).cached
+        # Swap the vocabulary in place (what a hot-swapped joint-space
+        # model would do); the cached decision belongs to the old
+        # vocabulary and its index must not be served against the new.
+        service.formats = tuning.tuned_space()
+        service._format_configs = tuple(
+            tuning.Configuration.from_key(k) for k in service.formats
+        )
+        swapped = service.predict(matrices[0])
+        assert not swapped.cached
+        assert swapped.formats == tuning.tuned_space()
+        assert first.formats != swapped.formats
+
+    def test_decision_cache_keyed_by_energy_weight(self, simulator, matrices):
+        service = SelectionService(simulator=simulator, mode="indirect")
+        assert not service.predict(matrices[0]).cached
+        assert service.predict(matrices[0]).cached
+        service.energy_weight = 0.5
+        assert not service.predict(matrices[0]).cached
+
+    def test_energy_weight_validated_and_in_stats(self, simulator, matrices):
+        with pytest.raises(ValueError, match="energy_weight"):
+            SelectionService(simulator=simulator, mode="indirect",
+                             energy_weight=1.5)
+        service = SelectionService(simulator=simulator, mode="indirect",
+                                   energy_weight=0.25)
+        service.predict(matrices[0])
+        assert service.stats()["service"]["energy_weight"] == 0.25
+
+    def test_energy_weight_ranks_by_scalarised_score(self, simulator, matrices):
+        """w=1 ranks purely by the energy proxy, masked cells stay inf."""
+        from repro import tuning
+
+        time_first = SelectionService(simulator=simulator, mode="indirect")
+        energy_first = SelectionService(simulator=simulator, mode="indirect",
+                                        energy_weight=1.0)
+        m = matrices[0]
+        td = time_first.predict(m)
+        ed = energy_first.predict(m)
+        prof = simulator.profile(m)
+        joules = {
+            fmt: tuning.energy_joules(
+                simulator.estimate(m, fmt), simulator.device
+            )
+            for fmt in energy_first.formats
+            if np.isfinite(td.predicted_times[fmt])
+        }
+        assert ed.chosen == min(joules, key=joules.get)
+
+    def test_feedback_accepts_configurations_and_warns_on_bare(
+        self, simulator, matrices
+    ):
+        import warnings
+
+        from repro import tuning
+        from repro._compat import reset_warning_registry
+
+        service = SelectionService(simulator=simulator, mode="indirect")
+        times = {"csr?lanes=8": 1.0, "csr": 2.0}
+        event = service.record_feedback(
+            "a", times, chosen=tuning.Configuration("csr", {"lanes": 8})
+        )
+        assert event.chosen == "csr?lanes=8"
+        event = service.record_feedback(
+            "b", times, chosen={"format": "csr", "params": {"lanes": 8}}
+        )
+        assert event.chosen == "csr?lanes=8"
+        event = service.record_feedback("c", times, chosen="csr?lanes=8")
+        assert event.chosen == "csr?lanes=8"
+        reset_warning_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service.record_feedback("d", times, chosen="csr")
+        assert any(w.category is DeprecationWarning for w in caught)
+        # Once per process: the next bare string is silent.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service.record_feedback("e", times, chosen="csr")
+        assert not any(w.category is DeprecationWarning for w in caught)

@@ -31,6 +31,7 @@ from typing import List
 PUBLIC_MODULES = [
     "repro",
     "repro.config",
+    "repro.tuning",
     "repro.obs",
     "repro.formats",
     "repro.gpu",
